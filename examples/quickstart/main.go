@@ -1,0 +1,54 @@
+// Quickstart: the CPMA as an ordered set — point updates, batch updates,
+// ordered iteration, range maps, and the space the compression saves.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// A Set is a compressed, dynamic, ordered set of nonzero uint64 keys.
+	s := repro.NewSet(nil)
+
+	// Point operations.
+	s.Insert(42)
+	s.Insert(7)
+	if s.Has(42) {
+		fmt.Println("42 is in the set")
+	}
+	s.Remove(7)
+
+	// Batch updates are where the CPMA shines: sorted or unsorted input,
+	// duplicates absorbed, all cores used for large batches.
+	batch := make([]uint64, 0, 1_000_000)
+	r := repro.NewRNG(1)
+	batch = append(batch, repro.UniformKeys(r, 1_000_000, 40)...)
+	added := s.InsertBatch(batch, false)
+	fmt.Printf("batch insert: %d new keys, set now holds %d\n", added, s.Len())
+
+	// Ordered iteration and range maps (one search + a contiguous scan).
+	smallest, _ := s.Min()
+	fmt.Printf("smallest key: %d\n", smallest)
+	count := 0
+	s.MapRange(1<<30, 1<<31, func(k uint64) bool {
+		count++
+		return true
+	})
+	fmt.Printf("keys in [2^30, 2^31): %d\n", count)
+
+	sum, n := s.RangeSum(0, ^uint64(0))
+	fmt.Printf("sum of all %d keys: %d\n", n, sum)
+
+	// Compression: compare with the uncompressed PMA on the same keys.
+	p := repro.NewPMA(nil)
+	p.InsertBatch(batch, false)
+	fmt.Printf("CPMA: %.2f bytes/key   PMA: %.2f bytes/key\n",
+		float64(s.SizeBytes())/float64(s.Len()),
+		float64(p.SizeBytes())/float64(p.Len()))
+
+	// Batch deletes are symmetric.
+	removed := s.RemoveBatch(batch[:500_000], false)
+	fmt.Printf("batch delete: %d keys removed, %d remain\n", removed, s.Len())
+}

@@ -1,0 +1,71 @@
+// Setcompare: a miniature Figure 1 + Figure 2 — batch-insert and
+// range-query throughput of the CPMA against the uncompressed PMA on this
+// machine, over a sweep of batch sizes.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	const baseN = 500_000
+	const total = 500_000
+	fmt.Printf("CPMA vs PMA on %d cores (start %d keys, insert %d)\n\n",
+		runtime.GOMAXPROCS(0), baseN, total)
+
+	fmt.Println("batch-insert throughput (keys/s):")
+	fmt.Printf("%10s %12s %12s\n", "batch", "PMA", "CPMA")
+	for _, bs := range []int{100, 1_000, 10_000, 100_000} {
+		pTP := measureInsert(repro.NewPMA(nil), baseN, total, bs)
+		cTP := measureInsert(repro.NewSet(nil), baseN, total, bs)
+		fmt.Printf("%10d %12.0f %12.0f\n", bs, pTP, cTP)
+	}
+
+	fmt.Println("\nrange-query throughput (keys scanned/s):")
+	p := repro.NewPMA(nil)
+	c := repro.NewSet(nil)
+	r := repro.NewRNG(1)
+	keys := repro.UniformKeys(r, baseN, 40)
+	p.InsertBatch(keys, false)
+	c.InsertBatch(keys, false)
+	fmt.Printf("%10s %12s %12s\n", "avg-len", "PMA", "CPMA")
+	for _, avgLen := range []int{100, 10_000, 100_000} {
+		span := uint64(float64(uint64(1)<<40) * float64(avgLen) / float64(baseN))
+		fmt.Printf("%10d %12.0f %12.0f\n", avgLen,
+			measureScan(p.RangeSum, span), measureScan(c.RangeSum, span))
+	}
+}
+
+type batchInserter interface {
+	InsertBatch(keys []uint64, sorted bool) int
+}
+
+func measureInsert(s batchInserter, baseN, total, bs int) float64 {
+	r := repro.NewRNG(42)
+	s.InsertBatch(repro.UniformKeys(r, baseN, 40), false)
+	batches := make([][]uint64, 0, total/bs)
+	for done := 0; done < total; done += bs {
+		batches = append(batches, repro.UniformKeys(r, bs, 40))
+	}
+	start := time.Now()
+	for _, b := range batches {
+		s.InsertBatch(b, false)
+	}
+	return float64(total) / time.Since(start).Seconds()
+}
+
+func measureScan(rangeSum func(lo, hi uint64) (uint64, int), span uint64) float64 {
+	r := repro.NewRNG(7)
+	start := time.Now()
+	scanned := 0
+	for q := 0; q < 200; q++ {
+		lo := 1 + r.Uint64()%(uint64(1)<<40-span)
+		_, cnt := rangeSum(lo, lo+span)
+		scanned += cnt
+	}
+	return float64(scanned) / time.Since(start).Seconds()
+}

@@ -1,0 +1,31 @@
+package aspen
+
+import (
+	"testing"
+
+	"repro/internal/cpacgraph"
+	"repro/internal/workload"
+)
+
+func TestAspenGraphBasics(t *testing.T) {
+	edges := workload.Symmetrize([]workload.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	g := FromEdges(4, edges)
+	if g.Name() != "Aspen" {
+		t.Fatalf("Name = %s", g.Name())
+	}
+	if g.NumEdges() != 4 || g.Degree(1) != 2 {
+		t.Fatalf("edges=%d deg(1)=%d", g.NumEdges(), g.Degree(1))
+	}
+}
+
+func TestAspenUsesMoreSpaceThanCPaC(t *testing.T) {
+	// The paper's Table 7: Aspen ~1.5-1.9x the space of C-PaC — smaller
+	// chunks plus a heavier vertex tree.
+	rng := workload.NewRNG(1)
+	edges := workload.Symmetrize(workload.RMAT(rng, 60_000, 11, workload.DefaultRMAT()))
+	a := FromEdges(1<<11, edges)
+	c := cpacgraph.FromEdges(1<<11, edges)
+	if a.SizeBytes() <= c.SizeBytes() {
+		t.Fatalf("Aspen %d bytes should exceed C-PaC %d bytes", a.SizeBytes(), c.SizeBytes())
+	}
+}

@@ -1,0 +1,20 @@
+// Package core marks the paper's primary contribution for readers
+// navigating the repository layout: the batch-parallel Compressed Packed
+// Memory Array lives in internal/cpma (with its uncompressed counterpart in
+// internal/pma and the shared implicit-tree planner in internal/pmatree).
+// This package re-exports the CPMA under the core name.
+package core
+
+import "repro/internal/cpma"
+
+// Set is the batch-parallel Compressed Packed Memory Array (paper §5).
+type Set = cpma.CPMA
+
+// Options configures a Set.
+type Options = cpma.Options
+
+// New returns an empty CPMA; opts may be nil for the paper's defaults.
+func New(opts *Options) *Set { return cpma.New(opts) }
+
+// FromSorted builds a CPMA from sorted, duplicate-free, nonzero keys.
+func FromSorted(keys []uint64, opts *Options) *Set { return cpma.FromSorted(keys, opts) }

@@ -1,0 +1,17 @@
+package core
+
+import "testing"
+
+func TestCoreAliasesWork(t *testing.T) {
+	s := New(nil)
+	if added := s.InsertBatch([]uint64{3, 1, 2}, false); added != 3 {
+		t.Fatalf("added = %d", added)
+	}
+	if !s.Has(2) {
+		t.Fatal("missing key")
+	}
+	s2 := FromSorted([]uint64{5, 6}, nil)
+	if s2.Len() != 2 {
+		t.Fatalf("Len = %d", s2.Len())
+	}
+}

@@ -1,0 +1,32 @@
+// Package cpacgraph is the C-PaC dynamic-graph baseline (paper §6): the
+// CPAM library's graph mode, with one compressed PaC edge tree per vertex
+// (block size 256, the library default) under a vertex tree modeled at 32
+// bytes per vertex.
+package cpacgraph
+
+import (
+	"repro/internal/treegraph"
+	"repro/internal/workload"
+)
+
+// Graph is a C-PaC-style dynamic graph.
+type Graph = treegraph.Graph
+
+// New returns an empty C-PaC graph.
+func New(numVertices int) *Graph {
+	return treegraph.New(numVertices, config())
+}
+
+// FromEdges builds a C-PaC graph from a symmetrized edge list.
+func FromEdges(numVertices int, edges []workload.Edge) *Graph {
+	return treegraph.FromEdges(numVertices, edges, config())
+}
+
+func config() treegraph.Config {
+	return treegraph.Config{
+		Name:            "C-PaC",
+		BlockMax:        256,
+		Compressed:      true,
+		VertexNodeBytes: 32,
+	}
+}

@@ -1,0 +1,28 @@
+package cpacgraph
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestCPaCGraphBasics(t *testing.T) {
+	edges := workload.Symmetrize([]workload.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 3}})
+	g := FromEdges(4, edges)
+	if g.Name() != "C-PaC" {
+		t.Fatalf("Name = %s", g.Name())
+	}
+	var got []uint32
+	g.Neighbors(0, func(u uint32) bool {
+		got = append(got, u)
+		return true
+	})
+	if !slices.Equal(got, []uint32{1, 3}) {
+		t.Fatalf("Neighbors(0) = %v", got)
+	}
+	removed := g.DeleteEdges(workload.Symmetrize([]workload.Edge{{Src: 0, Dst: 1}}))
+	if removed != 2 || g.NumEdges() != 2 {
+		t.Fatalf("removed=%d edges=%d", removed, g.NumEdges())
+	}
+}

@@ -1,0 +1,75 @@
+package cpma
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func benchBase(n int) *CPMA {
+	c := New(nil)
+	c.InsertBatch(workload.Uniform(workload.NewRNG(1), n, 40), false)
+	return c
+}
+
+func BenchmarkPointInsert(b *testing.B) {
+	c := benchBase(100_000)
+	r := workload.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(1 + r.Uint64()%(1<<40))
+	}
+}
+
+func BenchmarkPointQuery(b *testing.B) {
+	c := benchBase(100_000)
+	r := workload.NewRNG(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Has(1 + r.Uint64()%(1<<40))
+	}
+}
+
+func BenchmarkBatchInsert10k(b *testing.B) {
+	c := benchBase(100_000)
+	r := workload.NewRNG(4)
+	batches := make([][]uint64, 32)
+	for i := range batches {
+		batches[i] = workload.Uniform(r, 10_000, 40)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.InsertBatch(batches[i%len(batches)], false)
+	}
+}
+
+func BenchmarkSum(b *testing.B) {
+	c := benchBase(200_000)
+	b.SetBytes(int64(c.UsedBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Sum()
+	}
+}
+
+func BenchmarkRangeSum(b *testing.B) {
+	c := benchBase(200_000)
+	r := workload.NewRNG(5)
+	span := uint64(1) << 40 / 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := 1 + r.Uint64()%(uint64(1)<<40-span)
+		c.RangeSum(lo, lo+span)
+	}
+}
+
+func BenchmarkBuildFromSorted(b *testing.B) {
+	keys := workload.Uniform(workload.NewRNG(6), 200_000, 40)
+	c := New(nil)
+	c.InsertBatch(keys, false)
+	sorted := c.Keys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromSorted(sorted, nil)
+	}
+}

@@ -1,0 +1,508 @@
+package cpma
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pma"
+)
+
+func checkAgainst(t *testing.T, c *CPMA, want []uint64) {
+	t.Helper()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if c.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(want))
+	}
+	got := c.Keys()
+	if !slices.Equal(got, want) {
+		t.Fatalf("contents mismatch: got %d keys, want %d", len(got), len(want))
+	}
+}
+
+func uniqueRandom(r *rand.Rand, n int, max uint64) []uint64 {
+	set := make(map[uint64]bool, n)
+	for len(set) < n {
+		set[1+r.Uint64()%max] = true
+	}
+	out := make([]uint64, 0, n)
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestEmpty(t *testing.T) {
+	c := New(nil)
+	if c.Len() != 0 || c.Has(42) {
+		t.Fatal("empty CPMA misbehaves")
+	}
+	if _, ok := c.Min(); ok {
+		t.Fatal("Min on empty")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointInsertSmall(t *testing.T) {
+	c := New(nil)
+	keys := []uint64{5, 3, 9, 1, 7, 3, 5, 1 << 40, 1<<40 + 1}
+	added := 0
+	for _, k := range keys {
+		if c.Insert(k) {
+			added++
+		}
+	}
+	if added != 7 {
+		t.Fatalf("added = %d, want 7", added)
+	}
+	checkAgainst(t, c, []uint64{1, 3, 5, 7, 9, 1 << 40, 1<<40 + 1})
+	if !c.Has(1<<40) || c.Has(2) {
+		t.Fatal("membership wrong")
+	}
+}
+
+func TestPointInsertManyRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	keys := uniqueRandom(r, 20_000, 1<<40)
+	c := New(nil)
+	for _, k := range keys {
+		if !c.Insert(k) {
+			t.Fatalf("Insert(%d) reported duplicate", k)
+		}
+	}
+	want := slices.Clone(keys)
+	slices.Sort(want)
+	checkAgainst(t, c, want)
+	for _, k := range keys[:200] {
+		if c.Insert(k) {
+			t.Fatalf("duplicate insert of %d succeeded", k)
+		}
+	}
+}
+
+func TestDenseSequentialInserts(t *testing.T) {
+	// Consecutive keys give 1-byte deltas: maximal compression stress on the
+	// byte-budget redistribution.
+	c := New(nil)
+	n := 60_000
+	for i := 1; i <= n; i++ {
+		c.Insert(uint64(i))
+	}
+	if c.Len() != n {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Compression should be dramatic: ~1 byte per element + heads.
+	if got := c.SizeBytes(); got > uint64(4*n) {
+		t.Fatalf("dense set uses %d bytes for %d elements", got, n)
+	}
+}
+
+func TestDescendingInserts(t *testing.T) {
+	c := New(nil)
+	n := 30_000
+	for i := n; i >= 1; i-- {
+		c.Insert(uint64(i) << 20)
+	}
+	if c.Len() != n {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointRemove(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	keys := uniqueRandom(r, 5000, 1<<34)
+	c := New(nil)
+	for _, k := range keys {
+		c.Insert(k)
+	}
+	sorted := slices.Clone(keys)
+	slices.Sort(sorted)
+	var left []uint64
+	for i, k := range sorted {
+		if i%2 == 0 {
+			if !c.Remove(k) {
+				t.Fatalf("Remove(%d) failed", k)
+			}
+		} else {
+			left = append(left, k)
+		}
+	}
+	if c.Remove(sorted[0]) {
+		t.Fatal("double remove succeeded")
+	}
+	checkAgainst(t, c, left)
+}
+
+func TestRemoveAllShrinks(t *testing.T) {
+	c := New(nil)
+	n := 30_000
+	for i := 1; i <= n; i++ {
+		c.Insert(uint64(i) * 1000)
+	}
+	grown := c.Capacity()
+	for i := 1; i <= n; i++ {
+		if !c.Remove(uint64(i) * 1000) {
+			t.Fatalf("Remove failed at %d", i)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Capacity() >= grown {
+		t.Fatalf("capacity did not shrink: %d -> %d", grown, c.Capacity())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextMinMax(t *testing.T) {
+	c := FromSorted([]uint64{10, 20, 30, 1 << 35}, nil)
+	cases := []struct {
+		x    uint64
+		want uint64
+		ok   bool
+	}{
+		{1, 10, true}, {10, 10, true}, {11, 20, true}, {31, 1 << 35, true}, {1<<35 + 1, 0, false},
+	}
+	for _, cse := range cases {
+		got, ok := c.Next(cse.x)
+		if got != cse.want || ok != cse.ok {
+			t.Errorf("Next(%d) = (%d,%v), want (%d,%v)", cse.x, got, ok, cse.want, cse.ok)
+		}
+	}
+	if v, _ := c.Min(); v != 10 {
+		t.Errorf("Min = %d", v)
+	}
+	if v, _ := c.Max(); v != 1<<35 {
+		t.Errorf("Max = %d", v)
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	var keys []uint64
+	for i := 1; i <= 2000; i++ {
+		keys = append(keys, uint64(i*7))
+	}
+	c := FromSorted(keys, nil)
+	var got []uint64
+	c.MapRange(70, 140, func(v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	var want []uint64
+	for _, k := range keys {
+		if k >= 70 && k < 140 {
+			want = append(want, k)
+		}
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("MapRange got %v, want %v", got, want)
+	}
+	calls := 0
+	c.MapRange(0, ^uint64(0), func(uint64) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Fatalf("early exit after %d calls", calls)
+	}
+}
+
+func TestMapRangeLength(t *testing.T) {
+	c := FromSorted([]uint64{2, 4, 6, 8, 10, 12}, nil)
+	var got []uint64
+	n := c.MapRangeLength(5, 3, func(v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	if n != 3 || !slices.Equal(got, []uint64{6, 8, 10}) {
+		t.Fatalf("MapRangeLength = %d %v", n, got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	keys := uniqueRandom(r, 30_000, 1<<40)
+	c := New(nil)
+	c.InsertBatch(keys, false)
+	var want uint64
+	for _, k := range keys {
+		want += k
+	}
+	if got := c.Sum(); got != want {
+		t.Fatalf("Sum = %d, want %d", got, want)
+	}
+}
+
+func TestInsertBatchMatchesPMA(t *testing.T) {
+	// The CPMA and PMA must represent exactly the same set after identical
+	// mixed batch workloads.
+	r := rand.New(rand.NewSource(6))
+	c := New(nil)
+	p := pma.New(nil)
+	for round := 0; round < 8; round++ {
+		ins := make([]uint64, 3000)
+		for i := range ins {
+			ins[i] = 1 + r.Uint64()%(1<<22)
+		}
+		ca := c.InsertBatch(ins, false)
+		pa := p.InsertBatch(ins, false)
+		if ca != pa {
+			t.Fatalf("round %d: added %d vs %d", round, ca, pa)
+		}
+		del := make([]uint64, 2000)
+		for i := range del {
+			del[i] = 1 + r.Uint64()%(1<<22)
+		}
+		cr := c.RemoveBatch(del, false)
+		pr := p.RemoveBatch(del, false)
+		if cr != pr {
+			t.Fatalf("round %d: removed %d vs %d", round, cr, pr)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if c.Len() != p.Len() {
+			t.Fatalf("round %d: Len %d vs %d", round, c.Len(), p.Len())
+		}
+	}
+	if !slices.Equal(c.Keys(), p.Keys()) {
+		t.Fatal("CPMA and PMA disagree on final contents")
+	}
+}
+
+func TestInsertBatchSkewedToOneLeaf(t *testing.T) {
+	c := New(nil)
+	var base []uint64
+	for i := 1; i <= 2000; i++ {
+		base = append(base, uint64(i)<<32)
+	}
+	c.InsertBatch(base, true)
+	var batch []uint64
+	target := base[1000]
+	for i := 1; i <= 5000; i++ {
+		batch = append(batch, target+uint64(i))
+	}
+	if added := c.InsertBatch(batch, true); added != 5000 {
+		t.Fatalf("added = %d", added)
+	}
+	want := append(append([]uint64{}, base...), batch...)
+	slices.Sort(want)
+	checkAgainst(t, c, want)
+}
+
+func TestInsertBatchAllSmallerThanExisting(t *testing.T) {
+	c := New(nil)
+	var base []uint64
+	for i := 0; i < 3000; i++ {
+		base = append(base, 1<<39+uint64(i)*64)
+	}
+	c.InsertBatch(base, true)
+	var batch []uint64
+	for i := 1; i <= 3000; i++ {
+		batch = append(batch, uint64(i)*3)
+	}
+	c.InsertBatch(batch, true)
+	want := append(append([]uint64{}, base...), batch...)
+	slices.Sort(want)
+	checkAgainst(t, c, want)
+}
+
+func TestRemoveBatchEverything(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	base := uniqueRandom(r, 20_000, 1<<40)
+	c := New(nil)
+	c.InsertBatch(base, false)
+	if got := c.RemoveBatch(base, false); got != len(base) {
+		t.Fatalf("removed %d, want %d", got, len(base))
+	}
+	checkAgainst(t, c, nil)
+}
+
+func TestBatchPropertyAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New(nil)
+		ref := map[uint64]bool{}
+		for round := 0; round < 6; round++ {
+			n := 200 + r.Intn(3000)
+			batch := make([]uint64, n)
+			for i := range batch {
+				batch[i] = 1 + r.Uint64()%(1<<20)
+			}
+			if r.Intn(2) == 0 {
+				c.InsertBatch(batch, false)
+				for _, k := range batch {
+					ref[k] = true
+				}
+			} else {
+				c.RemoveBatch(batch, false)
+				for _, k := range batch {
+					delete(ref, k)
+				}
+			}
+			if c.Len() != len(ref) {
+				return false
+			}
+		}
+		if c.CheckInvariants() != nil {
+			return false
+		}
+		got := c.Keys()
+		want := make([]uint64, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		slices.Sort(want)
+		return slices.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointOpsPropertyAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New(nil)
+		ref := map[uint64]bool{}
+		for op := 0; op < 1500; op++ {
+			k := 1 + r.Uint64()%400
+			switch r.Intn(3) {
+			case 0:
+				if c.Insert(k) == ref[k] {
+					return false
+				}
+				ref[k] = true
+			case 1:
+				if c.Remove(k) != ref[k] {
+					return false
+				}
+				delete(ref, k)
+			default:
+				if c.Has(k) != ref[k] {
+					return false
+				}
+			}
+		}
+		return c.CheckInvariants() == nil && c.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressionBeatsUncompressed(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	keys := uniqueRandom(r, 200_000, 1<<40) // paper's 40-bit uniform workload
+	c := New(nil)
+	p := pma.New(nil)
+	c.InsertBatch(keys, false)
+	p.InsertBatch(keys, false)
+	cs, ps := c.SizeBytes(), p.SizeBytes()
+	if cs*2 > ps {
+		t.Fatalf("CPMA %d bytes not ≥2x smaller than PMA %d bytes (paper Table 6)", cs, ps)
+	}
+	// At 200k keys in a 40-bit space the average delta needs a 4-byte code,
+	// so ~6.5 B/elem is the expected figure (the paper's 4.77 B/elem is at
+	// 1M keys where deltas fit 3 bytes).
+	bytesPerElem := float64(cs) / float64(len(keys))
+	if bytesPerElem > 7 {
+		t.Fatalf("CPMA uses %.2f bytes/element on 40-bit uniform keys", bytesPerElem)
+	}
+}
+
+func TestGrowingFactorAffectsCapacity(t *testing.T) {
+	keys := make([]uint64, 50_000)
+	for i := range keys {
+		keys[i] = uint64(i+1) * 17
+	}
+	small := New(&Options{GrowthFactor: 1.1})
+	big := New(&Options{GrowthFactor: 2.0})
+	small.InsertBatch(keys, true)
+	big.InsertBatch(keys, true)
+	if small.Capacity() > big.Capacity() {
+		t.Fatalf("growth 1.1 capacity %d > growth 2.0 capacity %d", small.Capacity(), big.Capacity())
+	}
+}
+
+func TestInsertZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on key 0")
+		}
+	}()
+	New(nil).Insert(0)
+}
+
+func TestLeafBytesOption(t *testing.T) {
+	c := New(&Options{LeafBytes: 256})
+	if c.LeafBytes() != 256 {
+		t.Fatalf("LeafBytes = %d", c.LeafBytes())
+	}
+	r := rand.New(rand.NewSource(9))
+	keys := uniqueRandom(r, 10_000, 1<<40)
+	c.InsertBatch(keys, false)
+	if c.LeafBytes() != 256 {
+		t.Fatalf("LeafBytes changed to %d", c.LeafBytes())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHugeDeltasNearMaxUint(t *testing.T) {
+	// Keys spread across the full 64-bit space: 10-byte codes everywhere.
+	keys := []uint64{1, 1 << 20, 1 << 40, 1 << 62, 1<<63 + 5, ^uint64(0)}
+	c := New(nil)
+	for _, k := range keys {
+		c.Insert(k)
+	}
+	checkAgainst(t, c, keys)
+	for _, k := range keys {
+		if !c.Remove(k) {
+			t.Fatalf("Remove(%d) failed", k)
+		}
+	}
+	checkAgainst(t, c, nil)
+}
+
+func TestZipfianBatchesRegression(t *testing.T) {
+	// Mirror of the PMA regression test: hot keys below the structure's
+	// current minimum inside a recursion subrange.
+	r := rand.New(rand.NewSource(99))
+	c := New(nil)
+	ref := map[uint64]bool{}
+	for round := 0; round < 12; round++ {
+		batch := make([]uint64, 1500)
+		for i := range batch {
+			if r.Intn(3) == 0 {
+				batch[i] = 1 + uint64(r.Intn(20))
+			} else {
+				batch[i] = 1 + r.Uint64()%(1<<34)
+			}
+		}
+		c.InsertBatch(batch, false)
+		for _, k := range batch {
+			ref[k] = true
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if c.Len() != len(ref) {
+		t.Fatalf("Len %d, want %d", c.Len(), len(ref))
+	}
+}

@@ -1,0 +1,209 @@
+package cpma
+
+import "repro/internal/codec"
+
+// This file holds the single-pass leaf operations of §5: every mutation of a
+// compressed leaf is one forward walk over its byte codes, with an in-place
+// byte shift at the edit point.
+
+// leafInsert inserts x into a non-full leaf. The caller guarantees
+// used + codec.MaxGrowth <= capacity, so the shifted codes always fit.
+// Returns false if x was already present.
+func (c *CPMA) leafInsert(leaf int, x uint64) bool {
+	ld := c.leafData(leaf)
+	u := c.usedOf(leaf)
+	if u == 0 {
+		codec.PutHead(ld, x)
+		c.used[leaf] = codec.HeadBytes
+		c.ecnt[leaf] = 1
+		return true
+	}
+	head := codec.Head(ld)
+	if x == head {
+		return false
+	}
+	if x < head {
+		// New head; the old head becomes the first delta.
+		var code [codec.MaxLen]byte
+		k := codec.Put(code[:], head-x)
+		copy(ld[codec.HeadBytes+k:u+k], ld[codec.HeadBytes:u])
+		copy(ld[codec.HeadBytes:], code[:k])
+		codec.PutHead(ld, x)
+		c.used[leaf] = int32(u + k)
+		c.ecnt[leaf]++
+		return true
+	}
+	prev := head
+	off := codec.HeadBytes
+	for off < u {
+		d, k := codec.Get(ld[off:])
+		cur := prev + d
+		if cur == x {
+			return false
+		}
+		if cur > x {
+			// Split delta d into (x-prev, cur-x).
+			var code [2 * codec.MaxLen]byte
+			w := codec.Put(code[:], x-prev)
+			w += codec.Put(code[w:], cur-x)
+			grow := w - k
+			copy(ld[off+w:u+grow], ld[off+k:u])
+			copy(ld[off:], code[:w])
+			c.used[leaf] = int32(u + grow)
+			c.ecnt[leaf]++
+			return true
+		}
+		prev = cur
+		off += k
+	}
+	// x is the new maximum: append one delta.
+	w := codec.Put(ld[u:], x-prev)
+	c.used[leaf] = int32(u + w)
+	c.ecnt[leaf]++
+	return true
+}
+
+// leafRemove removes x from the leaf if present, merging the neighboring
+// deltas. Removal never grows the encoding.
+func (c *CPMA) leafRemove(leaf int, x uint64) bool {
+	ld := c.leafData(leaf)
+	u := c.usedOf(leaf)
+	if u == 0 {
+		return false
+	}
+	head := codec.Head(ld)
+	if x < head {
+		return false
+	}
+	if x == head {
+		if u == codec.HeadBytes {
+			// Last element gone; leaf becomes empty.
+			clearBytes(ld[:u])
+			c.used[leaf] = 0
+			c.ecnt[leaf] = 0
+			return true
+		}
+		d, k := codec.Get(ld[codec.HeadBytes:])
+		copy(ld[codec.HeadBytes:u-k], ld[codec.HeadBytes+k:u])
+		clearBytes(ld[u-k : u])
+		codec.PutHead(ld, head+d)
+		c.used[leaf] = int32(u - k)
+		c.ecnt[leaf]--
+		return true
+	}
+	prev := head
+	off := codec.HeadBytes
+	for off < u {
+		d, k := codec.Get(ld[off:])
+		cur := prev + d
+		switch {
+		case cur < x:
+			prev = cur
+			off += k
+		case cur > x:
+			return false
+		default: // cur == x
+			if off+k == u {
+				// Removing the maximum: drop the trailing delta.
+				clearBytes(ld[off:u])
+				c.used[leaf] = int32(off)
+				c.ecnt[leaf]--
+				return true
+			}
+			d2, k2 := codec.Get(ld[off+k:])
+			var code [codec.MaxLen]byte
+			w := codec.Put(code[:], d+d2) // next element relative to prev
+			shrink := k + k2 - w
+			copy(ld[off:], code[:w])
+			copy(ld[off+w:u-shrink], ld[off+k+k2:u])
+			clearBytes(ld[u-shrink : u])
+			c.used[leaf] = int32(u - shrink)
+			c.ecnt[leaf]--
+			return true
+		}
+	}
+	return false
+}
+
+// leafHas reports whether x is in the leaf.
+func (c *CPMA) leafHas(leaf int, x uint64) bool {
+	ld := c.leafData(leaf)
+	u := c.usedOf(leaf)
+	if u == 0 {
+		return false
+	}
+	v := codec.Head(ld)
+	if v == x {
+		return true
+	}
+	if v > x {
+		return false
+	}
+	for off := codec.HeadBytes; off < u; {
+		d, k := codec.Get(ld[off:])
+		v += d
+		if v == x {
+			return true
+		}
+		if v > x {
+			return false
+		}
+		off += k
+	}
+	return false
+}
+
+// leafIter applies f to the leaf's keys in order until f returns false.
+// It reports whether the full leaf was visited. The byte-code decode is
+// inlined by hand: Go does not inline functions containing loops, and this
+// is the range-map hot path.
+func (c *CPMA) leafIter(leaf int, f func(uint64) bool) bool {
+	ld := c.leafData(leaf)
+	u := c.usedOf(leaf)
+	if u == 0 {
+		return true
+	}
+	v := codec.Head(ld)
+	if !f(v) {
+		return false
+	}
+	for off := codec.HeadBytes; off < u; {
+		b := ld[off]
+		off++
+		d := uint64(b & 0x7f)
+		for shift := uint(7); b >= 0x80; shift += 7 {
+			b = ld[off]
+			off++
+			d |= uint64(b&0x7f) << shift
+		}
+		v += d
+		if !f(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// leafSum returns the sum of the leaf's keys (inlined decode; see leafIter).
+func (c *CPMA) leafSum(leaf int) uint64 {
+	ld := c.leafData(leaf)
+	u := c.usedOf(leaf)
+	if u == 0 {
+		return 0
+	}
+	v := codec.Head(ld)
+	s := v
+	for off := codec.HeadBytes; off < u; {
+		b := ld[off]
+		off++
+		d := uint64(b & 0x7f)
+		for shift := uint(7); b >= 0x80; shift += 7 {
+			b = ld[off]
+			off++
+			d |= uint64(b&0x7f) << shift
+		}
+		v += d
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,171 @@
+package cpma
+
+import (
+	"repro/internal/codec"
+	"repro/internal/pmatree"
+)
+
+// leafForIn returns the last non-empty leaf in [lo, hi] whose head is <= x,
+// or -1. The binary search probes uncompressed leaf heads (§5: "the
+// uncompressed head allows for efficient searching"), walking left over
+// empty leaves.
+func (c *CPMA) leafForIn(x uint64, lo, hi int) int {
+	res := -1
+	for lo <= hi {
+		mid := int(uint(lo+hi) >> 1)
+		j := mid
+		for j >= lo && c.used[j] == 0 {
+			j--
+		}
+		if j < lo {
+			lo = mid + 1
+			continue
+		}
+		if c.head(j) <= x {
+			res = j
+			lo = mid + 1
+		} else {
+			hi = j - 1
+		}
+	}
+	return res
+}
+
+func (c *CPMA) firstNonEmptyIn(lo, hi int) int {
+	for j := lo; j <= hi; j++ {
+		if c.used[j] != 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+func (c *CPMA) nextHeadIn(leaf, hi int) uint64 {
+	for j := leaf + 1; j <= hi; j++ {
+		if c.used[j] != 0 {
+			return c.head(j)
+		}
+	}
+	return ^uint64(0)
+}
+
+// findLeaf locates the leaf a key belongs to for point operations.
+// Returns -1 iff the CPMA is empty.
+func (c *CPMA) findLeaf(x uint64) int {
+	leaf := c.leafForIn(x, 0, c.leaves-1)
+	if leaf == -1 {
+		leaf = c.firstNonEmptyIn(0, c.leaves-1)
+	}
+	return leaf
+}
+
+// Has reports whether x is in the set.
+func (c *CPMA) Has(x uint64) bool {
+	if x == 0 || c.n == 0 {
+		return false
+	}
+	return c.leafHas(c.findLeaf(x), x)
+}
+
+// Next returns the smallest key >= x (the paper's search operation).
+func (c *CPMA) Next(x uint64) (uint64, bool) {
+	if c.n == 0 {
+		return 0, false
+	}
+	leaf := c.findLeaf(x)
+	var res uint64
+	found := false
+	c.leafIter(leaf, func(v uint64) bool {
+		if v >= x {
+			res, found = v, true
+			return false
+		}
+		return true
+	})
+	if found {
+		return res, true
+	}
+	for j := leaf + 1; j < c.leaves; j++ {
+		if c.used[j] != 0 {
+			return c.head(j), true
+		}
+	}
+	return 0, false
+}
+
+// Min returns the smallest key.
+func (c *CPMA) Min() (uint64, bool) {
+	if c.n == 0 {
+		return 0, false
+	}
+	return c.head(c.firstNonEmptyIn(0, c.leaves-1)), true
+}
+
+// Max returns the largest key.
+func (c *CPMA) Max() (uint64, bool) {
+	if c.n == 0 {
+		return 0, false
+	}
+	for j := c.leaves - 1; j >= 0; j-- {
+		if c.used[j] == 0 {
+			continue
+		}
+		var last uint64
+		c.leafIter(j, func(v uint64) bool { last = v; return true })
+		return last, true
+	}
+	return 0, false
+}
+
+// Insert adds x, returning false if already present. Point updates follow
+// the PMA's four steps with the place step done as a single pass over the
+// compressed leaf (§5, Figure 6).
+func (c *CPMA) Insert(x uint64) bool {
+	if x == 0 {
+		panic("cpma: key 0 is reserved")
+	}
+	for {
+		leaf := c.findLeaf(x)
+		if leaf == -1 {
+			leaf = 0
+		}
+		if c.usedOf(leaf)+codec.MaxGrowth > c.LeafBytes() {
+			// Not enough slack for the worst-case code growth: rebalance
+			// first (such a leaf always violates its byte-density bound).
+			c.rebalanceLeaf(leaf, true, false)
+			continue
+		}
+		if !c.leafInsert(leaf, x) {
+			return false
+		}
+		c.n++
+		if c.usedOf(leaf) > c.tree.UpperUnits(pmatree.Node{Level: 0, Index: leaf}) {
+			c.rebalanceLeaf(leaf, true, false)
+		}
+		return true
+	}
+}
+
+// Remove deletes x, returning false if absent.
+func (c *CPMA) Remove(x uint64) bool {
+	if x == 0 || c.n == 0 {
+		return false
+	}
+	leaf := c.findLeaf(x)
+	if !c.leafRemove(leaf, x) {
+		return false
+	}
+	c.n--
+	if c.usedOf(leaf) < c.tree.LowerUnits(pmatree.Node{Level: 0, Index: leaf}) {
+		c.rebalanceLeaf(leaf, false, true)
+	}
+	return true
+}
+
+func (c *CPMA) rebalanceLeaf(leaf int, checkUpper, checkLower bool) {
+	if checkLower && len(c.data) <= minCapacity {
+		return
+	}
+	plan := c.tree.WalkUp(c.usedOf, leaf, checkUpper, checkLower)
+	c.applyPlan(plan)
+}

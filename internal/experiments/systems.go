@@ -1,0 +1,71 @@
+// Package experiments implements one reusable driver per table and figure
+// of the paper's evaluation (§1, §4, §5, §6, Appendices B–C). The
+// cmd/cpma-bench and cmd/fgraph-bench binaries and the root bench_test.go
+// all call into this package, so the scaled-down benchmark defaults and the
+// full-scale command-line runs share one code path.
+package experiments
+
+import (
+	"repro/internal/cpma"
+	"repro/internal/pactree"
+	"repro/internal/pma"
+	"repro/internal/ptree"
+	"repro/internal/rma"
+)
+
+// Set is the uniform face over the five set systems under test.
+type Set interface {
+	InsertBatch(keys []uint64, sorted bool) int
+	RemoveBatch(keys []uint64, sorted bool) int
+	RangeSum(start, end uint64) (uint64, int)
+	Sum() uint64
+	Len() int
+	SizeBytes() uint64
+}
+
+// SetMaker names a system and constructs fresh instances of it.
+type SetMaker struct {
+	Name string
+	New  func() Set
+}
+
+// PMAMaker returns the uncompressed batch-parallel PMA.
+func PMAMaker() SetMaker {
+	return SetMaker{Name: "PMA", New: func() Set { return pma.New(nil) }}
+}
+
+// CPMAMaker returns the CPMA.
+func CPMAMaker() SetMaker {
+	return SetMaker{Name: "CPMA", New: func() Set { return cpma.New(nil) }}
+}
+
+// PTreeMaker returns the P-tree (PAM) baseline.
+func PTreeMaker() SetMaker {
+	return SetMaker{Name: "P-tree", New: func() Set { return ptreeSet{ptree.New()} }}
+}
+
+// UPaCMaker returns the uncompressed PaC-tree baseline.
+func UPaCMaker() SetMaker {
+	return SetMaker{Name: "U-PaC", New: func() Set { return pactree.New(&pactree.Options{Compressed: false}) }}
+}
+
+// CPaCMaker returns the compressed PaC-tree baseline.
+func CPaCMaker() SetMaker {
+	return SetMaker{Name: "C-PaC", New: func() Set { return pactree.New(&pactree.Options{Compressed: true}) }}
+}
+
+// AllSetMakers returns the five systems in the paper's column order.
+func AllSetMakers() []SetMaker {
+	return []SetMaker{PMAMaker(), CPMAMaker(), UPaCMaker(), CPaCMaker(), PTreeMaker()}
+}
+
+// ptreeSet adapts ptree.Tree, which lacks RangeSum's exact signature set.
+type ptreeSet struct{ *ptree.Tree }
+
+func (p ptreeSet) RangeSum(start, end uint64) (uint64, int) { return p.Tree.RangeSum(start, end) }
+
+// RMASet adapts the serial RMA baseline (insert-only; Table 4).
+type RMASet struct{ *rma.RMA }
+
+// NewRMASet returns a fresh RMA.
+func NewRMASet() RMASet { return RMASet{rma.New(0)} }

@@ -1,0 +1,212 @@
+// Package fgraph implements F-Graph (paper §6): a dynamic-graph system
+// storing the whole graph — vertices and edges — in a single batch-parallel
+// CPMA. Edges are 64-bit keys with the source in the upper 32 bits and the
+// destination in the lower 32; delta compression elides the source in all
+// but the first edge per leaf, so the vertex array of CSR disappears
+// entirely ("the F in F-Graph comes from the musical key of F, which has
+// one flat").
+//
+// Per-vertex access is restored on demand by BuildIndex, which reconstructs
+// a cursor (leaf, offset) and the degree for every vertex with one parallel
+// pass over the CPMA leaves — the "fixed cost to reconstruct the vertex
+// array of offsets" the paper measures inside each algorithm's runtime.
+package fgraph
+
+import (
+	"sync/atomic"
+
+	"repro/internal/cpma"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/workload"
+)
+
+// Graph is a dynamic undirected graph on a single CPMA. One writer at a
+// time; batch updates and algorithms are phased, as in the paper.
+type Graph struct {
+	set     *cpma.CPMA
+	nv      int
+	indexed bool
+	deg     []int32
+	cursors []uint64 // leaf<<32 | index-within-leaf; noCursor when degree 0
+}
+
+const noCursor = ^uint64(0)
+
+// New returns an empty graph over a vertex-id space of numVertices.
+func New(numVertices int, opts *cpma.Options) *Graph {
+	return &Graph{set: cpma.New(opts), nv: numVertices}
+}
+
+// FromEdges builds a graph from a (typically symmetrized) edge list.
+func FromEdges(numVertices int, edges []workload.Edge, opts *cpma.Options) *Graph {
+	g := New(numVertices, opts)
+	g.InsertEdges(edges)
+	return g
+}
+
+// InsertEdges adds a batch of directed edges (undirected graphs pass both
+// directions, e.g. via workload.Symmetrize), returning the number of edges
+// that were new. Duplicates are absorbed by the set semantics.
+func (g *Graph) InsertEdges(edges []workload.Edge) int {
+	g.indexed = false
+	return g.set.InsertBatch(workload.EdgeKeys(edges), false)
+}
+
+// DeleteEdges removes a batch of directed edges, returning how many were
+// present.
+func (g *Graph) DeleteEdges(edges []workload.Edge) int {
+	g.indexed = false
+	return g.set.RemoveBatch(workload.EdgeKeys(edges), false)
+}
+
+// InsertEdgeKeys inserts pre-packed src<<32|dst keys (the benchmark hot
+// path, avoiding the Edge struct round trip).
+func (g *Graph) InsertEdgeKeys(keys []uint64, sorted bool) int {
+	g.indexed = false
+	return g.set.InsertBatch(keys, sorted)
+}
+
+// NumVertices returns the vertex-id space.
+func (g *Graph) NumVertices() int { return g.nv }
+
+// NumEdges returns the number of stored directed edges.
+func (g *Graph) NumEdges() int64 { return int64(g.set.Len()) }
+
+// SizeBytes returns the memory footprint of the graph container (just the
+// CPMA — there is no vertex array).
+func (g *Graph) SizeBytes() uint64 { return g.set.SizeBytes() }
+
+// Set exposes the underlying CPMA (read-only use).
+func (g *Graph) Set() *cpma.CPMA { return g.set }
+
+// Indexed reports whether the vertex index is current.
+func (g *Graph) Indexed() bool { return g.indexed }
+
+// BuildIndex reconstructs the per-vertex cursors and degrees with one
+// parallel pass over the CPMA leaves. Algorithms that need per-vertex
+// access must run it after any mutation; the paper includes this cost in
+// every algorithm's measured time except PR's flat scans.
+func (g *Graph) BuildIndex() {
+	deg := make([]int32, g.nv)
+	cursors := make([]uint64, g.nv)
+	for i := range cursors {
+		cursors[i] = noCursor
+	}
+	leaves := g.set.Leaves()
+	parallel.For(leaves, 4, func(leaf int) {
+		idx := 0
+		runSrc := uint32(0)
+		runCount := int32(0)
+		g.set.LeafMap(leaf, func(k uint64) bool {
+			src := uint32(k >> 32)
+			if idx == 0 || src != runSrc {
+				if runCount > 0 {
+					atomic.AddInt32(&deg[runSrc], runCount)
+				}
+				runSrc, runCount = src, 0
+				cursorMin(&cursors[src], uint64(leaf)<<32|uint64(idx))
+			}
+			runCount++
+			idx++
+			return true
+		})
+		if runCount > 0 {
+			atomic.AddInt32(&deg[runSrc], runCount)
+		}
+	})
+	g.deg = deg
+	g.cursors = cursors
+	g.indexed = true
+}
+
+// EnsureIndex rebuilds the index if a mutation invalidated it. Must be
+// called from a single goroutine before parallel per-vertex access.
+func (g *Graph) EnsureIndex() {
+	if !g.indexed {
+		g.BuildIndex()
+	}
+}
+
+func cursorMin(addr *uint64, v uint64) {
+	for {
+		old := atomic.LoadUint64(addr)
+		if v >= old {
+			return
+		}
+		if atomic.CompareAndSwapUint64(addr, old, v) {
+			return
+		}
+	}
+}
+
+// Degree returns the out-degree of v. The index must be current.
+func (g *Graph) Degree(v uint32) int {
+	g.mustIndex()
+	return int(g.deg[v])
+}
+
+// Neighbors applies f to the destinations of v's stored edges in ascending
+// order until f returns false. The index must be current.
+func (g *Graph) Neighbors(v uint32, f func(u uint32) bool) {
+	g.mustIndex()
+	cur := g.cursors[v]
+	if cur == noCursor {
+		return
+	}
+	leaf := int(cur >> 32)
+	skip := int(uint32(cur))
+	remaining := int(g.deg[v])
+	for l := leaf; remaining > 0 && l < g.set.Leaves(); l++ {
+		g.set.LeafMap(l, func(k uint64) bool {
+			if skip > 0 {
+				skip--
+				return true
+			}
+			remaining--
+			if !f(uint32(k)) {
+				remaining = 0
+				return false
+			}
+			return remaining > 0
+		})
+	}
+}
+
+// AccumulateContrib implements graph.ContribScanner: one flat parallel scan
+// over the CPMA accumulating accBits[src] += w[dst] per stored edge, with
+// run-local sums flushed by CAS only at source changes and leaf boundaries.
+func (g *Graph) AccumulateContrib(w []float64, accBits []uint64) {
+	leaves := g.set.Leaves()
+	parallel.For(leaves, 4, func(leaf int) {
+		first := true
+		runSrc := uint32(0)
+		sum := 0.0
+		g.set.LeafMap(leaf, func(k uint64) bool {
+			src := uint32(k >> 32)
+			if first || src != runSrc {
+				if !first && sum != 0 {
+					graph.AtomicAddFloatBits(&accBits[runSrc], sum)
+				}
+				runSrc, sum, first = src, 0, false
+			}
+			sum += w[uint32(k)]
+			return true
+		})
+		if !first && sum != 0 {
+			graph.AtomicAddFloatBits(&accBits[runSrc], sum)
+		}
+	})
+}
+
+func (g *Graph) mustIndex() {
+	if !g.indexed {
+		panic("fgraph: vertex index stale; call EnsureIndex/BuildIndex after mutations")
+	}
+}
+
+// Interface conformance checks.
+var (
+	_ graph.Graph          = (*Graph)(nil)
+	_ graph.ContribScanner = (*Graph)(nil)
+)

@@ -1,0 +1,244 @@
+// Package graph implements the Ligra-style VertexSubset/EdgeMap framework
+// [66] and the paper's three evaluation kernels — PageRank, connected
+// components, and single-source betweenness centrality (§6) — over a small
+// Graph interface that F-Graph, the C-PaC graph, and the Aspen stand-in all
+// implement ("all systems run the same algorithms via the Ligra interface").
+package graph
+
+import (
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// Graph is the adjacency interface the kernels run against. Graphs are
+// undirected and store each edge in both directions.
+type Graph interface {
+	// NumVertices returns the size of the vertex-id space.
+	NumVertices() int
+	// NumEdges returns the number of stored (directed) edges.
+	NumEdges() int64
+	// Degree returns the out-degree of v.
+	Degree(v uint32) int
+	// Neighbors applies f to the out-neighbors of v in ascending order
+	// until f returns false.
+	Neighbors(v uint32, f func(u uint32) bool)
+}
+
+// ContribScanner is an optional fast path for arbitrary-order kernels:
+// one flat pass accumulating out[s] += w[d] over every stored edge (s, d).
+// F-Graph implements it with a single scan of its CPMA (§6: PR "can be cast
+// as a straightforward pass through the data structure"). accBits holds
+// float64 bit patterns so concurrent flushes can use CAS adds.
+type ContribScanner interface {
+	AccumulateContrib(w []float64, accBits []uint64)
+}
+
+// AtomicAddFloatBits adds delta to the float64 stored as bits in *addr; the
+// helper scanners use to flush per-run partial sums.
+func AtomicAddFloatBits(addr *uint64, delta float64) { atomicAddFloat64(addr, delta) }
+
+// VertexSubset is a Ligra frontier: sparse (vertex list) or dense (bitmap).
+type VertexSubset struct {
+	n      int
+	sparse []uint32 // valid when dense == nil
+	dense  []bool
+	size   int
+}
+
+// NewSparse builds a frontier from an explicit vertex list.
+func NewSparse(n int, vs []uint32) VertexSubset {
+	return VertexSubset{n: n, sparse: vs, size: len(vs)}
+}
+
+// NewDense builds a frontier from a bitmap; size is recomputed.
+func NewDense(marks []bool) VertexSubset {
+	size := 0
+	for _, m := range marks {
+		if m {
+			size++
+		}
+	}
+	return VertexSubset{n: len(marks), dense: marks, size: size}
+}
+
+// All returns the full frontier over n vertices.
+func All(n int) VertexSubset {
+	marks := make([]bool, n)
+	for i := range marks {
+		marks[i] = true
+	}
+	return VertexSubset{n: n, dense: marks, size: n}
+}
+
+// Size returns the number of vertices in the frontier.
+func (f VertexSubset) Size() int { return f.size }
+
+// Empty reports whether the frontier has no vertices.
+func (f VertexSubset) Empty() bool { return f.size == 0 }
+
+// ForEach applies fn to every frontier vertex (parallel).
+func (f VertexSubset) ForEach(fn func(v uint32)) {
+	if f.dense != nil {
+		parallel.For(f.n, 1024, func(i int) {
+			if f.dense[i] {
+				fn(uint32(i))
+			}
+		})
+		return
+	}
+	parallel.For(len(f.sparse), 256, func(i int) { fn(f.sparse[i]) })
+}
+
+// Has reports membership of v in the frontier.
+func (f VertexSubset) Has(v uint32) bool {
+	if f.dense != nil {
+		return f.dense[v]
+	}
+	for _, u := range f.sparse {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// toDense materializes the bitmap form.
+func (f VertexSubset) toDense() []bool {
+	if f.dense != nil {
+		return f.dense
+	}
+	marks := make([]bool, f.n)
+	for _, v := range f.sparse {
+		marks[v] = true
+	}
+	return marks
+}
+
+// EdgeMapOptions tunes the push/pull direction heuristic.
+type EdgeMapOptions struct {
+	// DenseThresholdFrac d switches to the dense (pull) traversal when
+	// |frontier| + out-degree(frontier) > edges/d. Ligra's default is 20.
+	DenseThresholdFrac int64
+}
+
+// EdgeMap is Ligra's edge traversal: from each frontier vertex s, visit
+// edges (s, d) with cond(d) true and apply update(s, d); d joins the output
+// frontier when update returns true. update must be atomic: it may be
+// called concurrently for the same d. Direction (sparse push vs dense pull)
+// follows Ligra's threshold heuristic.
+func EdgeMap(g Graph, frontier VertexSubset, update func(s, d uint32) bool, cond func(d uint32) bool, opts *EdgeMapOptions) VertexSubset {
+	frac := int64(20)
+	if opts != nil && opts.DenseThresholdFrac > 0 {
+		frac = opts.DenseThresholdFrac
+	}
+	var outDeg int64
+	frontier.ForEach(func(v uint32) {
+		atomic.AddInt64(&outDeg, int64(g.Degree(v)))
+	})
+	if int64(frontier.Size())+outDeg > g.NumEdges()/frac {
+		return edgeMapDense(g, frontier, update, cond)
+	}
+	return edgeMapSparse(g, frontier, update, cond)
+}
+
+// edgeMapDense pulls: every vertex d with cond(d) scans its in-neighbors
+// (graphs are symmetric, so out-neighbors) for frontier members.
+func edgeMapDense(g Graph, frontier VertexSubset, update func(s, d uint32) bool, cond func(d uint32) bool) VertexSubset {
+	n := g.NumVertices()
+	in := frontier.toDense()
+	out := make([]bool, n)
+	parallel.For(n, 64, func(i int) {
+		d := uint32(i)
+		if !cond(d) {
+			return
+		}
+		g.Neighbors(d, func(s uint32) bool {
+			if in[s] && update(s, d) {
+				out[d] = true
+			}
+			return cond(d)
+		})
+	})
+	return NewDense(out)
+}
+
+// edgeMapSparse pushes from each frontier vertex; output vertices are
+// deduplicated with an atomic claim array.
+func edgeMapSparse(g Graph, frontier VertexSubset, update func(s, d uint32) bool, cond func(d uint32) bool) VertexSubset {
+	n := g.NumVertices()
+	claimed := make([]int32, n)
+	var mu chunkedAppender
+	frontier.ForEach(func(s uint32) {
+		var local []uint32
+		g.Neighbors(s, func(d uint32) bool {
+			if cond(d) && update(s, d) {
+				if atomic.CompareAndSwapInt32(&claimed[d], 0, 1) {
+					local = append(local, d)
+				}
+			}
+			return true
+		})
+		if len(local) > 0 {
+			mu.append(local)
+		}
+	})
+	return NewSparse(n, mu.collect())
+}
+
+// chunkedAppender gathers per-task slices under a lock; contention is one
+// lock acquisition per frontier vertex with output, not per edge.
+type chunkedAppender struct {
+	mu     spinMutex
+	chunks [][]uint32
+	total  int
+}
+
+func (c *chunkedAppender) append(chunk []uint32) {
+	c.mu.Lock()
+	c.chunks = append(c.chunks, chunk)
+	c.total += len(chunk)
+	c.mu.Unlock()
+}
+
+func (c *chunkedAppender) collect() []uint32 {
+	out := make([]uint32, 0, c.total)
+	for _, ch := range c.chunks {
+		out = append(out, ch...)
+	}
+	return out
+}
+
+// spinMutex is a tiny test-and-set lock: the critical sections above are a
+// few nanoseconds, shorter than a sync.Mutex slow path.
+type spinMutex struct{ v int32 }
+
+func (m *spinMutex) Lock() {
+	for !atomic.CompareAndSwapInt32(&m.v, 0, 1) {
+	}
+}
+func (m *spinMutex) Unlock() { atomic.StoreInt32(&m.v, 0) }
+
+// atomicAddFloat64 adds delta to *addr with a CAS loop.
+func atomicAddFloat64(addr *uint64, delta float64) {
+	for {
+		old := atomic.LoadUint64(addr)
+		new := floatBits(bitsFloat(old) + delta)
+		if atomic.CompareAndSwapUint64(addr, old, new) {
+			return
+		}
+	}
+}
+
+// writeMinUint32 lowers *addr to v, reporting whether it changed.
+func writeMinUint32(addr *uint32, v uint32) bool {
+	for {
+		old := atomic.LoadUint32(addr)
+		if v >= old {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(addr, old, v) {
+			return true
+		}
+	}
+}

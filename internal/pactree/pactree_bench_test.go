@@ -1,0 +1,47 @@
+package pactree
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func benchTree(n int, compressed bool) *Tree {
+	t := New(&Options{Compressed: compressed})
+	t.InsertBatch(workload.Uniform(workload.NewRNG(1), n, 40), false)
+	return t
+}
+
+func BenchmarkBatchInsert10kUncompressed(b *testing.B) {
+	t := benchTree(100_000, false)
+	r := workload.NewRNG(2)
+	batches := make([][]uint64, 32)
+	for i := range batches {
+		batches[i] = workload.Uniform(r, 10_000, 40)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.InsertBatch(batches[i%len(batches)], false)
+	}
+}
+
+func BenchmarkBatchInsert10kCompressed(b *testing.B) {
+	t := benchTree(100_000, true)
+	r := workload.NewRNG(2)
+	batches := make([][]uint64, 32)
+	for i := range batches {
+		batches[i] = workload.Uniform(r, 10_000, 40)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.InsertBatch(batches[i%len(batches)], false)
+	}
+}
+
+func BenchmarkSumCompressed(b *testing.B) {
+	t := benchTree(200_000, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Sum()
+	}
+}

@@ -1,0 +1,129 @@
+package parallel
+
+import "sort"
+
+// mergeGrain is the size below which merges run sequentially. Chosen so a
+// sequential chunk comfortably amortizes a goroutine spawn.
+const mergeGrain = 16 << 10
+
+// Merge merges the sorted slices a and b into out, which must have length
+// len(a)+len(b). Duplicates are preserved. Large merges are split with the
+// binary-search strategy of load-balanced parallel merging [Akl–Santoro].
+func Merge(a, b, out []uint64) {
+	if len(a)+len(b) <= mergeGrain || Serial() {
+		seqMerge(a, b, out)
+		return
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	mid := len(a) / 2
+	pivot := a[mid]
+	// Elements equal to pivot in b go left so equal runs stay adjacent.
+	cut := sort.Search(len(b), func(i int) bool { return b[i] > pivot })
+	Do(
+		func() { Merge(a[:mid+1], b[:cut], out[:mid+1+cut]) },
+		func() { Merge(a[mid+1:], b[cut:], out[mid+1+cut:]) },
+	)
+}
+
+func seqMerge(a, b, out []uint64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	k += copy(out[k:], a[i:])
+	copy(out[k:], b[j:])
+}
+
+// MergeDedup merges sorted, individually duplicate-free slices a and b into a
+// new slice, dropping keys present in both. It returns the merged slice and
+// the number of elements of b that were not already in a.
+func MergeDedup(a, b []uint64) (merged []uint64, fresh int) {
+	if len(a)+len(b) <= mergeGrain || Serial() {
+		return seqMergeDedup(a, b)
+	}
+	out := make([]uint64, len(a)+len(b))
+	Merge(a, b, out)
+	merged = DedupSorted(out)
+	return merged, len(merged) - len(a)
+}
+
+func seqMergeDedup(a, b []uint64) ([]uint64, int) {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	fresh := 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+			fresh++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	fresh += len(b) - j
+	out = append(out, b[j:]...)
+	return out, fresh
+}
+
+// DedupSorted returns sorted slice a with adjacent duplicates removed. The
+// result is freshly allocated; a is left unchanged. Large inputs are
+// compacted in parallel with a per-block count, exclusive scan, and scatter.
+func DedupSorted(a []uint64) []uint64 {
+	if len(a) == 0 {
+		return nil
+	}
+	if len(a) <= mergeGrain || Serial() {
+		out := make([]uint64, 0, len(a))
+		out = append(out, a[0])
+		for i := 1; i < len(a); i++ {
+			if a[i] != a[i-1] {
+				out = append(out, a[i])
+			}
+		}
+		return out
+	}
+	grain := DefaultGrain(len(a))
+	nblocks := (len(a) + grain - 1) / grain
+	counts := make([]int, nblocks+1)
+	For(nblocks, 1, func(blk int) {
+		lo, hi := blk*grain, min((blk+1)*grain, len(a))
+		c := 0
+		for i := lo; i < hi; i++ {
+			if i == 0 || a[i] != a[i-1] {
+				c++
+			}
+		}
+		counts[blk+1] = c
+	})
+	for i := 1; i <= nblocks; i++ {
+		counts[i] += counts[i-1]
+	}
+	out := make([]uint64, counts[nblocks])
+	For(nblocks, 1, func(blk int) {
+		lo, hi := blk*grain, min((blk+1)*grain, len(a))
+		k := counts[blk]
+		for i := lo; i < hi; i++ {
+			if i == 0 || a[i] != a[i-1] {
+				out[k] = a[i]
+				k++
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,228 @@
+package parallel
+
+import (
+	"math/rand"
+	"slices"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDo(t *testing.T) {
+	var a, b int
+	Do(func() { a = 1 }, func() { b = 2 })
+	if a != 1 || b != 2 {
+		t.Fatalf("Do did not run both functions: a=%d b=%d", a, b)
+	}
+}
+
+func TestDo3(t *testing.T) {
+	var x [3]int32
+	Do3(func() { x[0] = 1 }, func() { x[1] = 2 }, func() { x[2] = 3 })
+	if x != [3]int32{1, 2, 3} {
+		t.Fatalf("Do3 result %v", x)
+	}
+}
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000, 100_003} {
+		hits := make([]int32, n)
+		For(n, 13, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForRangeDisjointCover(t *testing.T) {
+	n := 12345
+	var total int64
+	seen := make([]int32, n)
+	ForRange(n, 100, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad range [%d,%d)", lo, hi)
+		}
+		atomic.AddInt64(&total, int64(hi-lo))
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	if total != int64(n) {
+		t.Fatalf("ranges covered %d of %d", total, n)
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("index %d covered %d times", i, s)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	n := 100_000
+	got := ReduceSum(n, 0, func(i int) uint64 { return uint64(i) })
+	want := uint64(n) * uint64(n-1) / 2
+	if got != want {
+		t.Fatalf("ReduceSum = %d, want %d", got, want)
+	}
+}
+
+func randSorted(r *rand.Rand, n int, max uint64) []uint64 {
+	a := make([]uint64, n)
+	for i := range a {
+		a[i] = r.Uint64() % max
+	}
+	slices.Sort(a)
+	return a
+}
+
+func TestMergeMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, na := range []int{0, 1, 100, 50_000} {
+		for _, nb := range []int{0, 1, 333, 70_000} {
+			a := randSorted(r, na, 1<<20)
+			b := randSorted(r, nb, 1<<20)
+			out := make([]uint64, na+nb)
+			Merge(a, b, out)
+			want := append(append([]uint64{}, a...), b...)
+			slices.Sort(want)
+			if !slices.Equal(out, want) {
+				t.Fatalf("Merge(%d,%d) mismatch", na, nb)
+			}
+		}
+	}
+}
+
+func TestMergeDedup(t *testing.T) {
+	a := []uint64{1, 3, 5, 7}
+	b := []uint64{2, 3, 6, 7, 9}
+	got, fresh := MergeDedup(a, b)
+	want := []uint64{1, 2, 3, 5, 6, 7, 9}
+	if !slices.Equal(got, want) || fresh != 3 {
+		t.Fatalf("MergeDedup = %v fresh=%d, want %v fresh=3", got, fresh, want)
+	}
+}
+
+func TestMergeDedupLarge(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := DedupSorted(randSorted(r, 60_000, 1<<22))
+	b := DedupSorted(randSorted(r, 60_000, 1<<22))
+	got, fresh := MergeDedup(a, b)
+	seen := map[uint64]bool{}
+	for _, v := range a {
+		seen[v] = true
+	}
+	wantFresh := 0
+	for _, v := range b {
+		if !seen[v] {
+			wantFresh++
+			seen[v] = true
+		}
+	}
+	if fresh != wantFresh {
+		t.Fatalf("fresh = %d, want %d", fresh, wantFresh)
+	}
+	if len(got) != len(seen) {
+		t.Fatalf("len = %d, want %d", len(got), len(seen))
+	}
+	if !slices.IsSorted(got) {
+		t.Fatal("result not sorted")
+	}
+}
+
+func TestDedupSorted(t *testing.T) {
+	cases := [][]uint64{
+		nil,
+		{5},
+		{1, 1, 1},
+		{1, 2, 2, 3, 3, 3, 10},
+	}
+	wants := [][]uint64{nil, {5}, {1}, {1, 2, 3, 10}}
+	for i, c := range cases {
+		got := DedupSorted(c)
+		if !slices.Equal(got, wants[i]) {
+			t.Errorf("DedupSorted(%v) = %v, want %v", c, got, wants[i])
+		}
+	}
+}
+
+func TestDedupSortedLargeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randSorted(r, 40_000, 1<<15) // many duplicates
+		got := DedupSorted(a)
+		want := slices.Compact(slices.Clone(a))
+		return slices.Equal(got, want)
+	}
+	cfg := &quick.Config{MaxCount: 8}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortMatchesStdlib(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 2, 1000, 200_000} {
+		a := make([]uint64, n)
+		for i := range a {
+			a[i] = r.Uint64()
+		}
+		want := slices.Clone(a)
+		slices.Sort(want)
+		Sort(a)
+		if !slices.Equal(a, want) {
+			t.Fatalf("Sort(n=%d) mismatch", n)
+		}
+	}
+}
+
+func TestSortedCopyLeavesInputUnchanged(t *testing.T) {
+	a := []uint64{3, 1, 2}
+	got := SortedCopy(a)
+	if !slices.Equal(a, []uint64{3, 1, 2}) {
+		t.Fatal("input mutated")
+	}
+	if !slices.Equal(got, []uint64{1, 2, 3}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBitsetConcurrent(t *testing.T) {
+	n := 10_000
+	b := NewBitset(n)
+	For(n, 7, func(i int) {
+		if i%3 == 0 {
+			b.Set(i)
+		}
+	})
+	idx := b.Indices()
+	want := 0
+	for i := 0; i < n; i += 3 {
+		want++
+	}
+	if len(idx) != want {
+		t.Fatalf("got %d indices, want %d", len(idx), want)
+	}
+	for k := 1; k < len(idx); k++ {
+		if idx[k] <= idx[k-1] {
+			t.Fatal("indices not strictly increasing")
+		}
+	}
+	for _, i := range idx {
+		if i%3 != 0 || !b.Get(i) {
+			t.Fatalf("unexpected index %d", i)
+		}
+	}
+	if b.Get(1) {
+		t.Fatal("bit 1 should be clear")
+	}
+}
+
+func TestBitsetSetIdempotent(t *testing.T) {
+	b := NewBitset(128)
+	For(64, 1, func(int) { b.Set(77) })
+	if got := b.Indices(); len(got) != 1 || got[0] != 77 {
+		t.Fatalf("Indices = %v", got)
+	}
+}

@@ -1,0 +1,48 @@
+package parallel
+
+import "slices"
+
+// sortGrain is the subproblem size below which Sort falls back to the
+// standard library's pattern-defeating quicksort.
+const sortGrain = 32 << 10
+
+// Sort sorts a in place using a parallel merge sort with Merge as the
+// combining step. For small inputs or GOMAXPROCS=1 it is slices.Sort.
+func Sort(a []uint64) {
+	if len(a) <= sortGrain || Serial() {
+		slices.Sort(a)
+		return
+	}
+	scratch := make([]uint64, len(a))
+	mergeSort(a, scratch, true)
+}
+
+// SortedCopy returns a sorted copy of a, leaving a unchanged.
+func SortedCopy(a []uint64) []uint64 {
+	out := make([]uint64, len(a))
+	copy(out, a)
+	Sort(out)
+	return out
+}
+
+// mergeSort sorts a; scratch is a same-length buffer. When inA is true the
+// sorted result ends up in a, otherwise in scratch.
+func mergeSort(a, scratch []uint64, inA bool) {
+	if len(a) <= sortGrain {
+		slices.Sort(a)
+		if !inA {
+			copy(scratch, a)
+		}
+		return
+	}
+	mid := len(a) / 2
+	Do(
+		func() { mergeSort(a[:mid], scratch[:mid], !inA) },
+		func() { mergeSort(a[mid:], scratch[mid:], !inA) },
+	)
+	if inA {
+		Merge(scratch[:mid], scratch[mid:], a)
+	} else {
+		Merge(a[:mid], a[mid:], scratch)
+	}
+}

@@ -1,0 +1,323 @@
+package pma
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertBatchIntoEmpty(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	keys := uniqueRandom(r, 10_000, 1<<40)
+	p := New(nil)
+	if added := p.InsertBatch(keys, false); added != len(keys) {
+		t.Fatalf("added = %d, want %d", added, len(keys))
+	}
+	want := slices.Clone(keys)
+	slices.Sort(want)
+	checkAgainst(t, p, want)
+}
+
+func TestInsertBatchSizesAgainstModel(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	base := uniqueRandom(r, 40_000, 1<<40)
+	for _, bs := range []int{1, 7, 100, 101, 1000, 5000, 39_999} {
+		t.Run("", func(t *testing.T) {
+			p := New(nil)
+			p.InsertBatch(base, false)
+			ref := make(map[uint64]bool, len(base))
+			for _, k := range base {
+				ref[k] = true
+			}
+			batch := uniqueRandom(r, bs, 1<<40)
+			wantAdded := 0
+			for _, k := range batch {
+				if !ref[k] {
+					wantAdded++
+					ref[k] = true
+				}
+			}
+			if added := p.InsertBatch(batch, false); added != wantAdded {
+				t.Fatalf("bs=%d: added = %d, want %d", bs, added, wantAdded)
+			}
+			want := make([]uint64, 0, len(ref))
+			for k := range ref {
+				want = append(want, k)
+			}
+			slices.Sort(want)
+			checkAgainst(t, p, want)
+		})
+	}
+}
+
+func TestInsertBatchWithManyDuplicates(t *testing.T) {
+	p := New(nil)
+	base := make([]uint64, 1000)
+	for i := range base {
+		base[i] = uint64(2 * (i + 1)) // evens
+	}
+	p.InsertBatch(base, true)
+	// Batch: half already present, half odd (new), plus in-batch dups.
+	batch := append([]uint64{}, base[:500]...)
+	for i := 0; i < 500; i++ {
+		batch = append(batch, uint64(2*i+1), uint64(2*i+1))
+	}
+	added := p.InsertBatch(batch, false)
+	if added != 500 {
+		t.Fatalf("added = %d, want 500", added)
+	}
+	if p.Len() != 1500 {
+		t.Fatalf("Len = %d, want 1500", p.Len())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertBatchSkewedToOneLeaf(t *testing.T) {
+	// All batch keys land between two adjacent existing keys: the worst case
+	// for a single leaf, exercising the overflow-buffer path (Figure 4).
+	p := New(nil)
+	var base []uint64
+	for i := 1; i <= 2000; i++ {
+		base = append(base, uint64(i)<<32)
+	}
+	p.InsertBatch(base, true)
+	var batch []uint64
+	target := base[1000]
+	for i := 1; i <= 5000; i++ {
+		batch = append(batch, target+uint64(i))
+	}
+	if added := p.InsertBatch(batch, true); added != 5000 {
+		t.Fatalf("added = %d", added)
+	}
+	want := parallelMergeRef(base, batch)
+	checkAgainst(t, p, want)
+}
+
+func parallelMergeRef(a, b []uint64) []uint64 {
+	out := append(append([]uint64{}, a...), b...)
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+func TestInsertBatchAllSmallerThanExisting(t *testing.T) {
+	p := New(nil)
+	var base []uint64
+	for i := 0; i < 3000; i++ {
+		base = append(base, 1<<30+uint64(i))
+	}
+	p.InsertBatch(base, true)
+	var batch []uint64
+	for i := 1; i <= 3000; i++ {
+		batch = append(batch, uint64(i))
+	}
+	p.InsertBatch(batch, true)
+	checkAgainst(t, p, parallelMergeRef(base, batch))
+}
+
+func TestInsertBatchTriggersRebuildMergePath(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	base := uniqueRandom(r, 10_000, 1<<40)
+	batch := uniqueRandom(r, 9_000, 1<<40) // k ≈ n: full rebuild path
+	p := New(nil)
+	p.InsertBatch(base, false)
+	p.InsertBatch(batch, false)
+	checkAgainst(t, p, parallelMergeRef(base, batch))
+}
+
+func TestRemoveBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	base := uniqueRandom(r, 30_000, 1<<40)
+	p := New(nil)
+	p.InsertBatch(base, false)
+
+	sorted := slices.Clone(base)
+	slices.Sort(sorted)
+	toRemove := make([]uint64, 0, 10_000)
+	for i := 0; i < len(sorted); i += 3 {
+		toRemove = append(toRemove, sorted[i])
+	}
+	// Mix in keys that are absent.
+	absent := uniqueRandom(r, 1000, 1<<20)
+	mixed := append(slices.Clone(toRemove), absent...)
+	present := map[uint64]bool{}
+	for _, k := range sorted {
+		present[k] = true
+	}
+	wantRemoved := 0
+	for _, k := range mixed {
+		if present[k] {
+			wantRemoved++
+			delete(present, k)
+		}
+	}
+	if got := p.RemoveBatch(mixed, false); got != wantRemoved {
+		t.Fatalf("RemoveBatch = %d, want %d", got, wantRemoved)
+	}
+	want := make([]uint64, 0, len(present))
+	for k := range present {
+		want = append(want, k)
+	}
+	slices.Sort(want)
+	checkAgainst(t, p, want)
+}
+
+func TestRemoveBatchEverything(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	base := uniqueRandom(r, 20_000, 1<<40)
+	p := New(nil)
+	p.InsertBatch(base, false)
+	if got := p.RemoveBatch(base, false); got != len(base) {
+		t.Fatalf("removed %d, want %d", got, len(base))
+	}
+	checkAgainst(t, p, nil)
+}
+
+func TestAlternatingBatchInsertDelete(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	p := New(nil)
+	ref := map[uint64]bool{}
+	for round := 0; round < 20; round++ {
+		ins := uniqueRandom(r, 2000, 1<<24)
+		p.InsertBatch(ins, false)
+		for _, k := range ins {
+			ref[k] = true
+		}
+		del := uniqueRandom(r, 1500, 1<<24)
+		wantDel := 0
+		for _, k := range del {
+			if ref[k] {
+				wantDel++
+				delete(ref, k)
+			}
+		}
+		if got := p.RemoveBatch(del, false); got != wantDel {
+			t.Fatalf("round %d: removed %d, want %d", round, got, wantDel)
+		}
+		if p.Len() != len(ref) {
+			t.Fatalf("round %d: Len %d, want %d", round, p.Len(), len(ref))
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	want := make([]uint64, 0, len(ref))
+	for k := range ref {
+		want = append(want, k)
+	}
+	slices.Sort(want)
+	checkAgainst(t, p, want)
+}
+
+func TestBatchPropertyAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := New(nil)
+		ref := map[uint64]bool{}
+		for round := 0; round < 6; round++ {
+			n := 200 + r.Intn(3000)
+			batch := make([]uint64, n)
+			for i := range batch {
+				batch[i] = 1 + r.Uint64()%(1<<20)
+			}
+			if r.Intn(2) == 0 {
+				p.InsertBatch(batch, false)
+				for _, k := range batch {
+					ref[k] = true
+				}
+			} else {
+				p.RemoveBatch(batch, false)
+				for _, k := range batch {
+					delete(ref, k)
+				}
+			}
+			if p.Len() != len(ref) {
+				return false
+			}
+		}
+		if p.CheckInvariants() != nil {
+			return false
+		}
+		got := p.Keys()
+		want := make([]uint64, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		slices.Sort(want)
+		return slices.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchInsertPresortedFlag(t *testing.T) {
+	r := rand.New(rand.NewSource(16))
+	keys := uniqueRandom(r, 5000, 1<<40)
+	slices.Sort(keys)
+	p1 := New(nil)
+	p1.InsertBatch(keys, true)
+	p2 := New(nil)
+	shuffled := slices.Clone(keys)
+	r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	p2.InsertBatch(shuffled, false)
+	if !slices.Equal(p1.Keys(), p2.Keys()) {
+		t.Fatal("sorted and unsorted insertion disagree")
+	}
+}
+
+func TestSmallLeafOptionStress(t *testing.T) {
+	// Tiny leaves force many redistributions and growths.
+	r := rand.New(rand.NewSource(17))
+	p := New(&Options{LeafSize: 8, GrowthFactor: 1.3})
+	ref := map[uint64]bool{}
+	for round := 0; round < 10; round++ {
+		batch := make([]uint64, 700)
+		for i := range batch {
+			batch[i] = 1 + r.Uint64()%(1<<16)
+		}
+		p.InsertBatch(batch, false)
+		for _, k := range batch {
+			ref[k] = true
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if p.Len() != len(ref) {
+		t.Fatalf("Len %d, want %d", p.Len(), len(ref))
+	}
+}
+
+func TestZipfianBatchesRegression(t *testing.T) {
+	// Regression: zipfian (scrambled hot-key) batches used to hit the
+	// "batch elements with no target leaf range" panic when the median's
+	// leaf was the leftmost of a recursion range but the sub-batch held
+	// smaller keys.
+	r := rand.New(rand.NewSource(99))
+	p := New(nil)
+	ref := map[uint64]bool{}
+	for round := 0; round < 12; round++ {
+		batch := make([]uint64, 1500)
+		for i := range batch {
+			// Heavy-tailed: many repeats of a few hot keys plus a spread.
+			if r.Intn(3) == 0 {
+				batch[i] = 1 + uint64(r.Intn(20))
+			} else {
+				batch[i] = 1 + r.Uint64()%(1<<34)
+			}
+		}
+		p.InsertBatch(batch, false)
+		for _, k := range batch {
+			ref[k] = true
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if p.Len() != len(ref) {
+		t.Fatalf("Len %d, want %d", p.Len(), len(ref))
+	}
+}

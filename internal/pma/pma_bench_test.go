@@ -1,0 +1,64 @@
+package pma
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func benchBase(n int) *PMA {
+	p := New(nil)
+	p.InsertBatch(workload.Uniform(workload.NewRNG(1), n, 40), false)
+	return p
+}
+
+func BenchmarkPointInsert(b *testing.B) {
+	p := benchBase(100_000)
+	r := workload.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Insert(1 + r.Uint64()%(1<<40))
+	}
+}
+
+func BenchmarkPointQuery(b *testing.B) {
+	p := benchBase(100_000)
+	r := workload.NewRNG(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Has(1 + r.Uint64()%(1<<40))
+	}
+}
+
+func BenchmarkBatchInsert10k(b *testing.B) {
+	p := benchBase(100_000)
+	r := workload.NewRNG(4)
+	batches := make([][]uint64, 32)
+	for i := range batches {
+		batches[i] = workload.Uniform(r, 10_000, 40)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.InsertBatch(batches[i%len(batches)], false)
+	}
+}
+
+func BenchmarkSum(b *testing.B) {
+	p := benchBase(200_000)
+	b.SetBytes(int64(8 * p.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Sum()
+	}
+}
+
+func BenchmarkRangeSum(b *testing.B) {
+	p := benchBase(200_000)
+	r := workload.NewRNG(5)
+	span := uint64(1) << 40 / 100 // ~1% of the key space
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := 1 + r.Uint64()%(uint64(1)<<40-span)
+		p.RangeSum(lo, lo+span)
+	}
+}

@@ -1,0 +1,344 @@
+package pma
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func checkAgainst(t *testing.T, p *PMA, want []uint64) {
+	t.Helper()
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if p.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", p.Len(), len(want))
+	}
+	got := p.Keys()
+	if !slices.Equal(got, want) {
+		t.Fatalf("contents mismatch: got %d keys, want %d", len(got), len(want))
+	}
+}
+
+func uniqueRandom(r *rand.Rand, n int, max uint64) []uint64 {
+	set := make(map[uint64]bool, n)
+	for len(set) < n {
+		set[1+r.Uint64()%max] = true
+	}
+	out := make([]uint64, 0, n)
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestEmpty(t *testing.T) {
+	p := New(nil)
+	if p.Len() != 0 || p.Has(42) {
+		t.Fatal("empty PMA misbehaves")
+	}
+	if _, ok := p.Min(); ok {
+		t.Fatal("Min on empty should report false")
+	}
+	if _, ok := p.Next(1); ok {
+		t.Fatal("Next on empty should report false")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointInsertSmall(t *testing.T) {
+	p := New(nil)
+	keys := []uint64{5, 3, 9, 1, 7, 3, 5}
+	added := 0
+	for _, k := range keys {
+		if p.Insert(k) {
+			added++
+		}
+	}
+	if added != 5 {
+		t.Fatalf("added = %d, want 5", added)
+	}
+	checkAgainst(t, p, []uint64{1, 3, 5, 7, 9})
+	for _, k := range []uint64{1, 3, 5, 7, 9} {
+		if !p.Has(k) {
+			t.Fatalf("missing %d", k)
+		}
+	}
+	if p.Has(2) || p.Has(10) {
+		t.Fatal("phantom membership")
+	}
+}
+
+func TestPointInsertManyTriggersGrowth(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	keys := uniqueRandom(r, 20_000, 1<<40)
+	p := New(nil)
+	for _, k := range keys {
+		if !p.Insert(k) {
+			t.Fatalf("Insert(%d) reported duplicate", k)
+		}
+	}
+	want := slices.Clone(keys)
+	slices.Sort(want)
+	checkAgainst(t, p, want)
+	// Reinsertion must all be duplicates.
+	for _, k := range keys[:100] {
+		if p.Insert(k) {
+			t.Fatalf("duplicate insert of %d succeeded", k)
+		}
+	}
+}
+
+func TestAscendingAndDescendingInserts(t *testing.T) {
+	for name, gen := range map[string]func(i int) uint64{
+		"ascending":  func(i int) uint64 { return uint64(i + 1) },
+		"descending": func(i int) uint64 { return uint64(50_000 - i) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			p := New(nil)
+			n := 50_000
+			for i := 0; i < n; i++ {
+				p.Insert(gen(i))
+			}
+			if p.Len() != n {
+				t.Fatalf("Len = %d", p.Len())
+			}
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := p.Min(); v != 1 {
+				t.Fatalf("Min = %d", v)
+			}
+			if v, _ := p.Max(); v != uint64(n) {
+				t.Fatalf("Max = %d", v)
+			}
+		})
+	}
+}
+
+func TestPointRemove(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	keys := uniqueRandom(r, 5000, 1<<30)
+	p := New(nil)
+	for _, k := range keys {
+		p.Insert(k)
+	}
+	want := slices.Clone(keys)
+	slices.Sort(want)
+	// Remove every other key.
+	removed := map[uint64]bool{}
+	for i := 0; i < len(keys); i += 2 {
+		if !p.Remove(keys[i]) {
+			t.Fatalf("Remove(%d) failed", keys[i])
+		}
+		removed[keys[i]] = true
+	}
+	if p.Remove(0) {
+		t.Fatal("Remove(0) should be false")
+	}
+	var left []uint64
+	for _, k := range want {
+		if !removed[k] {
+			left = append(left, k)
+		}
+	}
+	checkAgainst(t, p, left)
+}
+
+func TestRemoveAllShrinks(t *testing.T) {
+	p := New(nil)
+	n := 30_000
+	for i := 1; i <= n; i++ {
+		p.Insert(uint64(i))
+	}
+	grown := p.Capacity()
+	for i := 1; i <= n; i++ {
+		if !p.Remove(uint64(i)) {
+			t.Fatalf("Remove(%d) failed", i)
+		}
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d after removing all", p.Len())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Capacity() >= grown {
+		t.Fatalf("capacity did not shrink: %d -> %d", grown, p.Capacity())
+	}
+}
+
+func TestNext(t *testing.T) {
+	p := FromSorted([]uint64{10, 20, 30, 40}, nil)
+	cases := []struct {
+		x    uint64
+		want uint64
+		ok   bool
+	}{
+		{1, 10, true}, {10, 10, true}, {11, 20, true}, {40, 40, true}, {41, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := p.Next(c.x)
+		if got != c.want || ok != c.ok {
+			t.Errorf("Next(%d) = (%d,%v), want (%d,%v)", c.x, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestFromSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	keys := uniqueRandom(r, 12_345, 1<<40)
+	slices.Sort(keys)
+	p := FromSorted(keys, nil)
+	checkAgainst(t, p, keys)
+}
+
+func TestMapRange(t *testing.T) {
+	keys := make([]uint64, 0, 1000)
+	for i := 1; i <= 1000; i++ {
+		keys = append(keys, uint64(i*10))
+	}
+	p := FromSorted(keys, nil)
+	var got []uint64
+	p.MapRange(95, 255, func(v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	var want []uint64
+	for _, k := range keys {
+		if k >= 95 && k < 255 {
+			want = append(want, k)
+		}
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("MapRange got %v, want %v", got, want)
+	}
+	// Early exit.
+	calls := 0
+	p.MapRange(0, ^uint64(0), func(uint64) bool {
+		calls++
+		return calls < 7
+	})
+	if calls != 7 {
+		t.Fatalf("early exit after %d calls", calls)
+	}
+}
+
+func TestMapRangeLength(t *testing.T) {
+	p := FromSorted([]uint64{2, 4, 6, 8, 10, 12}, nil)
+	var got []uint64
+	n := p.MapRangeLength(5, 3, func(v uint64) bool {
+		got = append(got, v)
+		return true
+	})
+	if n != 3 || !slices.Equal(got, []uint64{6, 8, 10}) {
+		t.Fatalf("MapRangeLength = %d %v", n, got)
+	}
+	if n := p.MapRangeLength(100, 3, func(uint64) bool { return true }); n != 0 {
+		t.Fatalf("past-the-end visit count %d", n)
+	}
+}
+
+func TestSumAndRangeSum(t *testing.T) {
+	keys := []uint64{1, 2, 3, 4, 5, 100, 200}
+	p := FromSorted(keys, nil)
+	if got := p.Sum(); got != 315 {
+		t.Fatalf("Sum = %d", got)
+	}
+	sum, count := p.RangeSum(2, 100)
+	if sum != 2+3+4+5 || count != 4 {
+		t.Fatalf("RangeSum = %d/%d", sum, count)
+	}
+}
+
+func TestParallelMapVisitsAll(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	keys := uniqueRandom(r, 50_000, 1<<40)
+	p := New(nil)
+	p.InsertBatch(keys, false)
+	var total uint64
+	serial := p.Sum()
+	ch := make(chan uint64, 64)
+	done := make(chan struct{})
+	go func() {
+		for v := range ch {
+			total += v
+		}
+		close(done)
+	}()
+	p.ParallelMap(func(v uint64) { ch <- v })
+	close(ch)
+	<-done
+	if total != serial {
+		t.Fatalf("ParallelMap sum %d != Sum %d", total, serial)
+	}
+}
+
+func TestInsertZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on key 0")
+		}
+	}()
+	New(nil).Insert(0)
+}
+
+func TestGrowingFactorAffectsCapacity(t *testing.T) {
+	keys := make([]uint64, 50_000)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+	small := New(&Options{GrowthFactor: 1.1})
+	big := New(&Options{GrowthFactor: 2.0})
+	small.InsertBatch(keys, true)
+	big.InsertBatch(keys, true)
+	if small.Capacity() > big.Capacity() {
+		t.Fatalf("growth 1.1 capacity %d > growth 2.0 capacity %d", small.Capacity(), big.Capacity())
+	}
+	if err := small.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := big.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomOpsAgainstReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := New(nil)
+		ref := map[uint64]bool{}
+		for op := 0; op < 2000; op++ {
+			k := 1 + r.Uint64()%512 // small key space forces collisions
+			switch r.Intn(3) {
+			case 0:
+				got := p.Insert(k)
+				want := !ref[k]
+				if got != want {
+					return false
+				}
+				ref[k] = true
+			case 1:
+				got := p.Remove(k)
+				if got != ref[k] {
+					return false
+				}
+				delete(ref, k)
+			default:
+				if p.Has(k) != ref[k] {
+					return false
+				}
+			}
+		}
+		if p.Len() != len(ref) {
+			return false
+		}
+		return p.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

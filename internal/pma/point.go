@@ -1,0 +1,221 @@
+package pma
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/pmatree"
+)
+
+// forLeaves runs f over n leaves in parallel with a grain that keeps
+// per-task work in the tens of KB of cells, amortizing the fork cost.
+func forLeaves(n int, f func(i int)) {
+	parallel.For(n, 64, f)
+}
+
+// leafForIn returns the index of the last non-empty leaf in [lo, hi] whose
+// head is <= x, or -1 when no such leaf exists. Empty leaves (head 0) are
+// skipped by walking left from the probe, the classic PMA search.
+func (p *PMA) leafForIn(x uint64, lo, hi int) int {
+	res := -1
+	for lo <= hi {
+		mid := int(uint(lo+hi) >> 1)
+		j := mid
+		for j >= lo && p.head(j) == 0 {
+			j--
+		}
+		if j < lo {
+			lo = mid + 1
+			continue
+		}
+		if p.head(j) <= x {
+			res = j
+			lo = mid + 1
+		} else {
+			hi = j - 1
+		}
+	}
+	return res
+}
+
+// firstNonEmptyIn returns the first non-empty leaf in [lo, hi], or -1.
+func (p *PMA) firstNonEmptyIn(lo, hi int) int {
+	for j := lo; j <= hi; j++ {
+		if p.head(j) != 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// nextHeadIn returns the head of the first non-empty leaf in (leaf, hi], or
+// MaxUint64 when the rest of the range is empty.
+func (p *PMA) nextHeadIn(leaf, hi int) uint64 {
+	for j := leaf + 1; j <= hi; j++ {
+		if h := p.head(j); h != 0 {
+			return h
+		}
+	}
+	return ^uint64(0)
+}
+
+// findLeaf locates the leaf a key belongs to for point operations: the last
+// non-empty leaf with head <= x, falling back to the first non-empty leaf
+// when x precedes every head. Returns -1 iff the PMA is empty.
+func (p *PMA) findLeaf(x uint64) int {
+	leaf := p.leafForIn(x, 0, p.leaves-1)
+	if leaf == -1 {
+		leaf = p.firstNonEmptyIn(0, p.leaves-1)
+	}
+	return leaf
+}
+
+// searchLeaf binary-searches the packed elements of a leaf, returning the
+// insertion position of x and whether x is present.
+func (p *PMA) searchLeaf(leaf int, x uint64) (pos int, found bool) {
+	base := p.base(leaf)
+	lo, hi := 0, p.leafLen(leaf)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		switch v := p.cells[base+mid]; {
+		case v < x:
+			lo = mid + 1
+		case v > x:
+			hi = mid
+		default:
+			return mid, true
+		}
+	}
+	return lo, false
+}
+
+// Has reports whether x is in the set.
+func (p *PMA) Has(x uint64) bool {
+	if x == 0 || p.n == 0 {
+		return false
+	}
+	leaf := p.findLeaf(x)
+	_, found := p.searchLeaf(leaf, x)
+	return found
+}
+
+// Next returns the smallest key >= x, the paper's search(x) operation.
+func (p *PMA) Next(x uint64) (uint64, bool) {
+	if p.n == 0 {
+		return 0, false
+	}
+	leaf := p.findLeaf(x)
+	pos, found := p.searchLeaf(leaf, x)
+	if found {
+		return x, true
+	}
+	if pos < p.leafLen(leaf) {
+		return p.cells[p.base(leaf)+pos], true
+	}
+	for j := leaf + 1; j < p.leaves; j++ {
+		if h := p.head(j); h != 0 {
+			return h, true
+		}
+	}
+	return 0, false
+}
+
+// Min returns the smallest key in the set.
+func (p *PMA) Min() (uint64, bool) {
+	if p.n == 0 {
+		return 0, false
+	}
+	return p.head(p.firstNonEmptyIn(0, p.leaves-1)), true
+}
+
+// Max returns the largest key in the set.
+func (p *PMA) Max() (uint64, bool) {
+	if p.n == 0 {
+		return 0, false
+	}
+	for j := p.leaves - 1; j >= 0; j-- {
+		if cnt := p.leafLen(j); cnt > 0 {
+			return p.cells[p.base(j)+cnt-1], true
+		}
+	}
+	return 0, false
+}
+
+// Insert adds x to the set, returning false if it was already present.
+// Point inserts follow the paper's four steps: search, place, count,
+// redistribute (§3, Figure 3).
+func (p *PMA) Insert(x uint64) bool {
+	if x == 0 {
+		panic("pma: key 0 is reserved")
+	}
+	for {
+		leaf := p.findLeaf(x)
+		if leaf == -1 {
+			leaf = 0
+		}
+		pos, found := p.searchLeaf(leaf, x)
+		if found {
+			return false
+		}
+		cnt := p.leafLen(leaf)
+		if cnt == p.LeafSize() {
+			// No physical room: rebalance first (a full leaf always violates
+			// its density bound), then retry the search.
+			p.rebalanceLeaf(leaf, true, false)
+			continue
+		}
+		base := p.base(leaf)
+		copy(p.cells[base+pos+1:base+cnt+1], p.cells[base+pos:base+cnt])
+		p.cells[base+pos] = x
+		p.counts[leaf] = int32(cnt + 1)
+		p.n++
+		if cnt+1 > p.leafUpperUnits() {
+			p.rebalanceLeaf(leaf, true, false)
+		}
+		return true
+	}
+}
+
+// Remove deletes x from the set, returning false if it was absent.
+func (p *PMA) Remove(x uint64) bool {
+	if x == 0 || p.n == 0 {
+		return false
+	}
+	leaf := p.findLeaf(x)
+	pos, found := p.searchLeaf(leaf, x)
+	if !found {
+		return false
+	}
+	base := p.base(leaf)
+	cnt := p.leafLen(leaf)
+	copy(p.cells[base+pos:base+cnt-1], p.cells[base+pos+1:base+cnt])
+	p.cells[base+cnt-1] = 0
+	p.counts[leaf] = int32(cnt - 1)
+	p.n--
+	if cnt-1 < p.tree.LowerUnits(pmatree.Node{Level: 0, Index: leaf}) {
+		p.rebalanceLeaf(leaf, false, true)
+	}
+	return true
+}
+
+// rebalanceLeaf performs the point-update rebalance: walk up from the leaf
+// to the lowest ancestor within its density bounds and redistribute it, or
+// resize the array if the violation reaches the root.
+func (p *PMA) rebalanceLeaf(leaf int, checkUpper, checkLower bool) {
+	if checkLower && len(p.cells) <= minCells {
+		return // already at minimum capacity; sparseness is acceptable
+	}
+	plan := p.tree.WalkUp(p.used, leaf, checkUpper, checkLower)
+	p.applyPlan(plan)
+}
+
+// applyPlan executes a rebalance plan: regional redistributions in parallel,
+// or a whole-structure rebuild on grow/shrink.
+func (p *PMA) applyPlan(plan pmatree.Plan) {
+	if plan.Grow || plan.Shrink {
+		p.rebuildFrom(p.gather(0, p.leaves))
+		return
+	}
+	regions := plan.Redistribute
+	parallel.For(len(regions), 1, func(i int) {
+		p.redistribute(regions[i])
+	})
+}

@@ -1,0 +1,114 @@
+package pma
+
+import "repro/internal/parallel"
+
+// Map applies f to every key in ascending order, stopping early if f
+// returns false. It reports whether the scan ran to completion.
+func (p *PMA) Map(f func(uint64) bool) bool {
+	for leaf := 0; leaf < p.leaves; leaf++ {
+		base := p.base(leaf)
+		for i := 0; i < p.leafLen(leaf); i++ {
+			if !f(p.cells[base+i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ParallelMap applies f to every key with leaf-level parallelism. f must be
+// safe for concurrent calls; ordering is only guaranteed within a leaf.
+func (p *PMA) ParallelMap(f func(uint64)) {
+	forLeaves(p.leaves, func(leaf int) {
+		base := p.base(leaf)
+		for i := 0; i < p.leafLen(leaf); i++ {
+			f(p.cells[base+i])
+		}
+	})
+}
+
+// MapRange applies f to every key in [start, end) in ascending order — the
+// paper's range_map: one search then a contiguous scan. It stops early if f
+// returns false and reports whether it reached the end of the range.
+func (p *PMA) MapRange(start, end uint64, f func(uint64) bool) bool {
+	if p.n == 0 || start >= end {
+		return true
+	}
+	leaf := p.findLeaf(start)
+	pos, _ := p.searchLeaf(leaf, start)
+	for ; leaf < p.leaves; leaf++ {
+		base := p.base(leaf)
+		cnt := p.leafLen(leaf)
+		for ; pos < cnt; pos++ {
+			v := p.cells[base+pos]
+			if v >= end {
+				return true
+			}
+			if !f(v) {
+				return false
+			}
+		}
+		pos = 0
+	}
+	return true
+}
+
+// MapRangeLength applies f to at most length keys starting from the
+// smallest key >= start, returning the number of keys visited.
+func (p *PMA) MapRangeLength(start uint64, length int, f func(uint64) bool) int {
+	if p.n == 0 || length <= 0 {
+		return 0
+	}
+	leaf := p.findLeaf(start)
+	pos, _ := p.searchLeaf(leaf, start)
+	visited := 0
+	for ; leaf < p.leaves; leaf++ {
+		base := p.base(leaf)
+		cnt := p.leafLen(leaf)
+		for ; pos < cnt; pos++ {
+			v := p.cells[base+pos]
+			if v < start {
+				continue
+			}
+			if visited == length || !f(v) {
+				return visited
+			}
+			visited++
+		}
+		pos = 0
+	}
+	return visited
+}
+
+// Sum returns the sum (mod 2^64) of all keys, computed with leaf-level
+// parallelism; the paper uses it as the canonical scan microbenchmark.
+func (p *PMA) Sum() uint64 {
+	return parallel.ReduceSum(p.leaves, 8, func(leaf int) uint64 {
+		base := p.base(leaf)
+		var s uint64
+		for i := 0; i < p.leafLen(leaf); i++ {
+			s += p.cells[base+i]
+		}
+		return s
+	})
+}
+
+// RangeSum sums keys in [start, end); used by the range-query benchmarks.
+func (p *PMA) RangeSum(start, end uint64) (sum uint64, count int) {
+	p.MapRange(start, end, func(v uint64) bool {
+		sum += v
+		count++
+		return true
+	})
+	return sum, count
+}
+
+// Keys returns all keys in ascending order; primarily for tests.
+func (p *PMA) Keys() []uint64 {
+	out := make([]uint64, 0, p.n)
+	p.Map(func(v uint64) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,30 @@
+package ptree
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func BenchmarkBatchInsert10k(b *testing.B) {
+	t := New()
+	t.InsertBatch(workload.Uniform(workload.NewRNG(1), 100_000, 40), false)
+	r := workload.NewRNG(2)
+	batches := make([][]uint64, 32)
+	for i := range batches {
+		batches[i] = workload.Uniform(r, 10_000, 40)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.InsertBatch(batches[i%len(batches)], false)
+	}
+}
+
+func BenchmarkSum(b *testing.B) {
+	t := New()
+	t.InsertBatch(workload.Uniform(workload.NewRNG(1), 200_000, 40), false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Sum()
+	}
+}

@@ -1,0 +1,141 @@
+package rma
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func uniqueRandom(r *rand.Rand, n int, max uint64) []uint64 {
+	set := make(map[uint64]bool, n)
+	for len(set) < n {
+		set[1+r.Uint64()%max] = true
+	}
+	out := make([]uint64, 0, n)
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestPointInsert(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	keys := uniqueRandom(r, 10_000, 1<<40)
+	m := New(0)
+	for _, k := range keys {
+		if !m.Insert(k) {
+			t.Fatalf("Insert(%d) dup", k)
+		}
+	}
+	if m.Insert(keys[0]) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	want := slices.Clone(keys)
+	slices.Sort(want)
+	if !slices.Equal(m.Keys(), want) {
+		t.Fatal("contents mismatch")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertBatchAgainstModel(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	base := uniqueRandom(r, 20_000, 1<<40)
+	m := New(0)
+	if added := m.InsertBatch(base, false); added != len(base) {
+		t.Fatalf("added = %d", added)
+	}
+	batch := uniqueRandom(r, 10_000, 1<<40)
+	present := map[uint64]bool{}
+	for _, k := range base {
+		present[k] = true
+	}
+	wantNew := 0
+	for _, k := range batch {
+		if !present[k] {
+			wantNew++
+			present[k] = true
+		}
+	}
+	if added := m.InsertBatch(batch, false); added != wantNew {
+		t.Fatalf("added = %d, want %d", added, wantNew)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != len(present) {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestBatchSkewedSegments(t *testing.T) {
+	m := New(0)
+	var base []uint64
+	for i := 1; i <= 1000; i++ {
+		base = append(base, uint64(i)<<32)
+	}
+	m.InsertBatch(base, true)
+	// A long run destined for one leaf exercises the partial-take loop.
+	var batch []uint64
+	for i := 1; i <= 4000; i++ {
+		batch = append(batch, base[500]+uint64(i))
+	}
+	if added := m.InsertBatch(batch, true); added != 4000 {
+		t.Fatalf("added = %d", added)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]uint64{}, base...), batch...)
+	slices.Sort(want)
+	if !slices.Equal(m.Keys(), want) {
+		t.Fatal("contents mismatch")
+	}
+}
+
+func TestBatchPropertyAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := New(0)
+		ref := map[uint64]bool{}
+		for round := 0; round < 5; round++ {
+			batch := make([]uint64, 100+r.Intn(2000))
+			for i := range batch {
+				batch[i] = 1 + r.Uint64()%(1<<20)
+			}
+			m.InsertBatch(batch, false)
+			for _, k := range batch {
+				ref[k] = true
+			}
+			if m.Len() != len(ref) {
+				return false
+			}
+			if m.CheckInvariants() != nil {
+				return false
+			}
+		}
+		want := make([]uint64, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		slices.Sort(want)
+		return slices.Equal(m.Keys(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumAndHas(t *testing.T) {
+	m := New(0)
+	m.InsertBatch([]uint64{1, 2, 3, 10}, true)
+	if m.Sum() != 16 {
+		t.Fatalf("Sum = %d", m.Sum())
+	}
+	if !m.Has(10) || m.Has(4) {
+		t.Fatal("Has wrong")
+	}
+}

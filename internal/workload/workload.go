@@ -1,0 +1,294 @@
+// Package workload generates the paper's evaluation inputs: 40-bit uniform
+// keys, YCSB-style zipfian keys (α = 0.99, 34-bit), R-MAT edge streams
+// (a=0.5, b=c=0.1, d=0.3), Erdős–Rényi graphs, and scaled synthetic
+// stand-ins for the social-network graphs (§6, DESIGN.md §4).
+package workload
+
+import "math"
+
+// RNG is a splitmix64 generator: tiny, fast, and deterministic across
+// platforms, so every experiment is exactly reproducible.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next pseudorandom value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// UniformBits is the paper's microbenchmark key width: "40-bit numbers give
+// a balance between the compression ratio and the number of duplicates".
+const UniformBits = 40
+
+// Uniform fills a slice with n uniform random keys in [1, 2^bits).
+func Uniform(r *RNG, n, bits int) []uint64 {
+	span := uint64(1)<<uint(bits) - 1
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = 1 + r.Uint64()%span
+	}
+	return out
+}
+
+// Zipf generates keys from a zipfian distribution over [1, 2^bits) with the
+// YCSB skew parameter. Item ranks are scrambled with a multiplicative hash
+// so hot keys are spread over the key space (as YCSB does).
+type Zipf struct {
+	rng   *RNG
+	items uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	mask  uint64
+}
+
+// ZipfTheta is the paper's skew parameter ("skew parameter α = 0.99,
+// parameter taken from the YCSB").
+const ZipfTheta = 0.99
+
+// ZipfBits is the paper's zipfian key width (34-bit numbers).
+const ZipfBits = 34
+
+// NewZipf builds a generator over 2^bits items with skew theta.
+func NewZipf(r *RNG, bits int, theta float64) *Zipf {
+	items := uint64(1) << uint(bits)
+	zetan := zetaApprox(items, theta)
+	zeta2 := zetaApprox(2, theta)
+	z := &Zipf{
+		rng:   r,
+		items: items,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(items), 1-theta)) / (1 - zeta2/zetan),
+		mask:  items - 1,
+	}
+	return z
+}
+
+// zetaApprox approximates the generalized harmonic number H_{n,theta} with
+// the exact sum of the first terms plus an Euler–Maclaurin tail — computing
+// the exact sum over 2^34 items, as YCSB does incrementally, would take
+// minutes.
+func zetaApprox(n uint64, theta float64) float64 {
+	const exact = 1 << 16
+	sum := 0.0
+	limit := n
+	if limit > exact {
+		limit = exact
+	}
+	for i := uint64(1); i <= limit; i++ {
+		sum += math.Pow(float64(i), -theta)
+	}
+	if n <= exact {
+		return sum
+	}
+	// Integral tail with the first-order Euler–Maclaurin correction.
+	a, b := float64(exact), float64(n)
+	tail := (math.Pow(b, 1-theta)-math.Pow(a, 1-theta))/(1-theta) +
+		0.5*(math.Pow(b, -theta)-math.Pow(a, -theta))
+	return sum + tail
+}
+
+// Next returns the next zipfian key in [1, 2^bits), hot ranks scrambled.
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var rank uint64
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < 1+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = uint64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if rank >= z.items {
+		rank = z.items - 1
+	}
+	// Scramble the rank across the key space; keep keys nonzero.
+	k := scramble(rank) & z.mask
+	if k == 0 {
+		k = 1
+	}
+	return k
+}
+
+func scramble(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// ZipfBatch draws n zipfian keys.
+func ZipfBatch(z *Zipf, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = z.Next()
+	}
+	return out
+}
+
+// Edge is a directed graph edge.
+type Edge struct {
+	Src, Dst uint32
+}
+
+// RMATParams are the quadrant probabilities of the R-MAT generator; the
+// defaults match the paper's insert stream ("a=0.5, b=c=0.1, d=0.3 to match
+// the distribution from the PaC-tree paper").
+type RMATParams struct {
+	A, B, C float64 // D = 1-A-B-C
+}
+
+// DefaultRMAT returns the paper's R-MAT parameters.
+func DefaultRMAT() RMATParams { return RMATParams{A: 0.5, B: 0.1, C: 0.1} }
+
+// RMAT samples n directed edges over 2^scale vertices (duplicates and
+// self-loops possible, as in the paper's insert streams).
+func RMAT(r *RNG, n int, scale int, p RMATParams) []Edge {
+	out := make([]Edge, n)
+	for i := range out {
+		out[i] = rmatOne(r, scale, p)
+	}
+	return out
+}
+
+func rmatOne(r *RNG, scale int, p RMATParams) Edge {
+	var src, dst uint32
+	for bit := 0; bit < scale; bit++ {
+		u := r.Float64()
+		switch {
+		case u < p.A:
+			// top-left: no bits set
+		case u < p.A+p.B:
+			dst |= 1 << uint(bit)
+		case u < p.A+p.B+p.C:
+			src |= 1 << uint(bit)
+		default:
+			src |= 1 << uint(bit)
+			dst |= 1 << uint(bit)
+		}
+	}
+	return Edge{Src: src, Dst: dst}
+}
+
+// ErdosRenyi generates G(n, p) as a directed edge list via geometric
+// skipping, so the cost is proportional to the number of edges.
+func ErdosRenyi(r *RNG, n int, p float64) []Edge {
+	if p <= 0 || n <= 0 {
+		return nil
+	}
+	var edges []Edge
+	logq := math.Log1p(-p)
+	total := uint64(n) * uint64(n)
+	pos := uint64(0)
+	for {
+		skip := uint64(math.Floor(math.Log(1-r.Float64()) / logq))
+		pos += skip
+		if pos >= total {
+			return edges
+		}
+		src := uint32(pos / uint64(n))
+		dst := uint32(pos % uint64(n))
+		if src != dst {
+			edges = append(edges, Edge{Src: src, Dst: dst})
+		}
+		pos++
+	}
+}
+
+// Symmetrize returns the undirected closure of an edge list (both
+// directions for every edge, self-loops dropped), which is how the graph
+// systems under test store undirected graphs.
+func Symmetrize(edges []Edge) []Edge {
+	out := make([]Edge, 0, 2*len(edges))
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			continue
+		}
+		out = append(out, e, Edge{Src: e.Dst, Dst: e.Src})
+	}
+	return out
+}
+
+// EdgeKeys packs edges into the 64-bit keys F-Graph stores: src in the
+// upper 32 bits, dst in the lower (§6: "F-Graph stores edges in 64-bit
+// words"). Key 0 (edge 0->0) cannot occur because self-loops are dropped
+// by Symmetrize and vertex pairs (0,0) are filtered here.
+func EdgeKeys(edges []Edge) []uint64 {
+	out := make([]uint64, 0, len(edges))
+	for _, e := range edges {
+		k := uint64(e.Src)<<32 | uint64(e.Dst)
+		if k == 0 {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// SyntheticGraph describes one scaled stand-in for the paper's datasets
+// (Table 7). Vertex/edge counts are scaled down ~100x; skew is preserved by
+// the generator choice.
+type SyntheticGraph struct {
+	Name    string
+	Kind    string // "rmat" or "er"
+	Scale   int    // log2 of vertex count (rmat)
+	Edges   int    // directed edges to sample before symmetrizing
+	N       int    // vertices (er)
+	P       float64
+	Comment string
+}
+
+// PaperGraphs lists the scaled stand-ins for LJ, CO, ER, TW, and FS.
+func PaperGraphs() []SyntheticGraph {
+	return []SyntheticGraph{
+		{Name: "LJ", Kind: "rmat", Scale: 16, Edges: 860_000, Comment: "LiveJournal: 4.8M/86M scaled 100x"},
+		{Name: "CO", Kind: "rmat", Scale: 15, Edges: 2_340_000, Comment: "Orkut: 3.1M/234M scaled 100x"},
+		{Name: "ER", Kind: "er", N: 100_000, P: 5e-4, Comment: "Erdős–Rényi n=1e7 p=5e-6 scaled 100x"},
+		{Name: "TW", Kind: "rmat", Scale: 17, Edges: 4_000_000, Comment: "Twitter: 62M/2405M scaled ~600x"},
+		{Name: "FS", Kind: "rmat", Scale: 17, Edges: 6_000_000, Comment: "Friendster: 125M/3612M scaled ~600x"},
+	}
+}
+
+// Build materializes a synthetic graph as a symmetrized edge list.
+func (g SyntheticGraph) Build(seed uint64) []Edge {
+	r := NewRNG(seed)
+	switch g.Kind {
+	case "er":
+		return Symmetrize(ErdosRenyi(r, g.N, g.P))
+	default:
+		return Symmetrize(RMAT(r, g.Edges, g.Scale, DefaultRMAT()))
+	}
+}
+
+// NumVertices returns the vertex-id space of the synthetic graph.
+func (g SyntheticGraph) NumVertices() int {
+	if g.Kind == "er" {
+		return g.N
+	}
+	return 1 << uint(g.Scale)
+}

@@ -1,0 +1,108 @@
+// Package repro is the public API of this reproduction of "CPMA: An
+// Efficient Batch-Parallel Compressed Set Without Pointers" (PPoPP 2024).
+//
+// It exposes three layers:
+//
+//   - Set — the batch-parallel Compressed Packed Memory Array (the paper's
+//     primary contribution): a compressed, dynamic, ordered set of uint64
+//     keys with parallel batch updates and cache-friendly range maps.
+//   - PMA — the uncompressed batch-parallel Packed Memory Array.
+//   - FGraph — the F-Graph dynamic-graph system built on a single Set, with
+//     the PageRank, ConnectedComponents, and BC kernels.
+//
+// Keys are nonzero uint64 values (0 is reserved as the empty-cell
+// sentinel). All containers are single-writer: batch operations
+// parallelize internally, but concurrent mutation is not supported —
+// batch-parallel, not concurrent, as defined in §2 of the paper.
+//
+// Quick start:
+//
+//	s := repro.NewSet(nil)
+//	s.InsertBatch([]uint64{5, 1, 9}, false)
+//	s.MapRange(1, 6, func(k uint64) bool { fmt.Println(k); return true })
+package repro
+
+import (
+	"repro/internal/cpma"
+	"repro/internal/fgraph"
+	"repro/internal/graph"
+	"repro/internal/pma"
+	"repro/internal/workload"
+)
+
+// Set is the batch-parallel Compressed Packed Memory Array (CPMA).
+type Set = cpma.CPMA
+
+// SetOptions configures a Set (growing factor, leaf size, batch
+// thresholds, density bounds).
+type SetOptions = cpma.Options
+
+// NewSet returns an empty CPMA; opts may be nil for the paper's defaults
+// (growing factor 1.2, auto leaf size).
+func NewSet(opts *SetOptions) *Set { return cpma.New(opts) }
+
+// SetFromSorted builds a CPMA from sorted, duplicate-free, nonzero keys.
+func SetFromSorted(keys []uint64, opts *SetOptions) *Set { return cpma.FromSorted(keys, opts) }
+
+// PMA is the uncompressed batch-parallel Packed Memory Array.
+type PMA = pma.PMA
+
+// PMAOptions configures a PMA.
+type PMAOptions = pma.Options
+
+// NewPMA returns an empty PMA; opts may be nil for defaults.
+func NewPMA(opts *PMAOptions) *PMA { return pma.New(opts) }
+
+// PMAFromSorted builds a PMA from sorted, duplicate-free, nonzero keys.
+func PMAFromSorted(keys []uint64, opts *PMAOptions) *PMA { return pma.FromSorted(keys, opts) }
+
+// FGraph is the F-Graph dynamic-graph system: the whole graph in one CPMA.
+type FGraph = fgraph.Graph
+
+// NewFGraph returns an empty graph over numVertices vertex ids.
+func NewFGraph(numVertices int) *FGraph { return fgraph.New(numVertices, nil) }
+
+// FGraphFromEdges builds a graph from a directed edge list (use Symmetrize
+// for undirected graphs).
+func FGraphFromEdges(numVertices int, edges []Edge) *FGraph {
+	return fgraph.FromEdges(numVertices, edges, nil)
+}
+
+// Edge is a directed graph edge.
+type Edge = workload.Edge
+
+// Symmetrize returns the undirected closure of an edge list (both
+// directions, self-loops dropped).
+func Symmetrize(edges []Edge) []Edge { return workload.Symmetrize(edges) }
+
+// Graph is the adjacency interface the graph kernels accept; FGraph
+// implements it (after EnsureIndex).
+type Graph = graph.Graph
+
+// PageRank runs iters pull-based PageRank iterations (damping 0.85) and
+// returns the rank vector.
+func PageRank(g Graph, iters int) []float64 { return graph.PageRank(g, iters) }
+
+// ConnectedComponents labels each vertex with the smallest vertex id in
+// its component.
+func ConnectedComponents(g Graph) []uint32 { return graph.ConnectedComponents(g) }
+
+// BC returns single-source betweenness-centrality dependency scores from
+// src (Brandes' algorithm).
+func BC(g Graph, src uint32) []float64 { return graph.BC(g, src) }
+
+// RNG is a deterministic splitmix64 random generator for workloads.
+type RNG = workload.RNG
+
+// NewRNG seeds a workload generator.
+func NewRNG(seed uint64) *RNG { return workload.NewRNG(seed) }
+
+// UniformKeys draws n uniform random keys in [1, 2^bits) — the paper's
+// microbenchmark distribution at bits=40.
+func UniformKeys(r *RNG, n, bits int) []uint64 { return workload.Uniform(r, n, bits) }
+
+// RMATEdges samples n directed edges over 2^scale vertices from the R-MAT
+// distribution the paper uses for graph insert streams.
+func RMATEdges(r *RNG, n, scale int) []Edge {
+	return workload.RMAT(r, n, scale, workload.DefaultRMAT())
+}

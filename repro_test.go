@@ -1,0 +1,95 @@
+package repro_test
+
+import (
+	"slices"
+	"testing"
+
+	"repro"
+)
+
+// The facade tests exercise the public API exactly the way a downstream
+// user would, without touching internal packages.
+
+func TestSetQuickstart(t *testing.T) {
+	s := repro.NewSet(nil)
+	if added := s.InsertBatch([]uint64{5, 1, 9, 5}, false); added != 3 {
+		t.Fatalf("added = %d", added)
+	}
+	if !s.Has(5) || s.Has(2) {
+		t.Fatal("membership wrong")
+	}
+	var got []uint64
+	s.MapRange(1, 6, func(k uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if !slices.Equal(got, []uint64{1, 5}) {
+		t.Fatalf("MapRange = %v", got)
+	}
+	if s.Sum() != 15 {
+		t.Fatalf("Sum = %d", s.Sum())
+	}
+}
+
+func TestPMAAndSetAgree(t *testing.T) {
+	r := repro.NewRNG(1)
+	// 32-bit keys at 50k elements give the same delta width (3 bytes) as
+	// the paper's 40-bit keys at 1M+, where the >=2x space claim holds.
+	keys := repro.UniformKeys(r, 50_000, 32)
+	s := repro.NewSet(nil)
+	p := repro.NewPMA(nil)
+	s.InsertBatch(keys, false)
+	p.InsertBatch(keys, false)
+	if s.Len() != p.Len() || s.Sum() != p.Sum() {
+		t.Fatalf("Set(%d,%d) vs PMA(%d,%d)", s.Len(), s.Sum(), p.Len(), p.Sum())
+	}
+	if s.SizeBytes()*2 > p.SizeBytes() {
+		t.Fatalf("compression ratio regressed: %d vs %d bytes", s.SizeBytes(), p.SizeBytes())
+	}
+}
+
+func TestFGraphEndToEnd(t *testing.T) {
+	r := repro.NewRNG(2)
+	edges := repro.Symmetrize(repro.RMATEdges(r, 20_000, 10))
+	g := repro.FGraphFromEdges(1<<10, edges)
+	g.EnsureIndex()
+
+	labels := repro.ConnectedComponents(g)
+	if len(labels) != 1<<10 {
+		t.Fatal("label vector size wrong")
+	}
+	rank := repro.PageRank(g, 10)
+	sum := 0.0
+	for _, x := range rank {
+		sum += x
+	}
+	if sum < 0.5 || sum > 1.5 {
+		t.Fatalf("PR mass %f", sum)
+	}
+	bc := repro.BC(g, 0)
+	if len(bc) != 1<<10 || bc[0] != 0 {
+		t.Fatal("BC output wrong")
+	}
+
+	// Streaming update then re-query.
+	added := g.InsertEdges(repro.Symmetrize(repro.RMATEdges(r, 5000, 10)))
+	if added <= 0 {
+		t.Fatal("no edges added")
+	}
+	g.EnsureIndex()
+	if repro.ConnectedComponents(g) == nil {
+		t.Fatal("CC after update failed")
+	}
+}
+
+func TestSortedConstructors(t *testing.T) {
+	keys := []uint64{2, 4, 6}
+	s := repro.SetFromSorted(keys, nil)
+	p := repro.PMAFromSorted(keys, nil)
+	if s.Len() != 3 || p.Len() != 3 {
+		t.Fatal("constructors wrong")
+	}
+	if v, ok := s.Next(3); !ok || v != 4 {
+		t.Fatal("Next wrong")
+	}
+}
