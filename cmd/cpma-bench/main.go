@@ -9,8 +9,14 @@
 //	cpma-bench all
 //
 // Experiments: fig1 fig2 fig7 fig8 fig11 table1 table3 table4 table5
-// table6 growfactor all. The defaults are ~100x below paper scale; raise
-// -n/-k on a machine with the paper's 256 GB.
+// table6 growfactor shards all. The defaults are ~100x below paper scale;
+// raise -n/-k on a machine with the paper's 256 GB.
+//
+// The shards experiment goes beyond the paper: it sweeps the concurrent
+// sharded front-end from 1 to -shards shards, with -clients goroutines
+// streaming batch inserts concurrently (something a single-writer CPMA
+// cannot accept) and -readers goroutines issuing point lookups and range
+// sums during the mixed phase.
 package main
 
 import (
@@ -30,6 +36,9 @@ func main() {
 	queries := flag.Int("queries", 1_000, "parallel range queries per measurement")
 	trials := flag.Int("trials", 3, "timed trials per query measurement")
 	seed := flag.Uint64("seed", 42, "workload seed")
+	shards := flag.Int("shards", runtime.NumCPU(), "max shard count for the shards experiment")
+	clients := flag.Int("clients", 4, "concurrent writer clients for the shards experiment")
+	readers := flag.Int("readers", 2, "concurrent readers in the shards mixed phase")
 	flag.Parse()
 
 	cfg := experiments.MicroConfig{BaseN: *n, TotalK: *k, Seed: *seed, Trials: *trials}
@@ -136,6 +145,27 @@ func main() {
 		rows := experiments.Fig8RangeScaling(cfg, *queries, *n/100+1)
 		fmt.Fprintln(out, "Figure 8 / Table 12: range-query strong scaling")
 		writeScaling(rows)
+	}
+	if all || run["shards"] {
+		if *shards < 1 {
+			*shards = 1
+		}
+		bs := *n / 100
+		if bs < 1 {
+			bs = 1
+		}
+		rows := experiments.ShardConcurrentClients(cfg, *shards, *clients, *readers, bs)
+		fmt.Fprintf(out, "Sharded front-end: %d concurrent clients, batch %d, 1..%d shards\n", *clients, bs, *shards)
+		t := stats.NewTable("shards", "insert TP", "speedup", "mixed TP", "reads/s", "final n")
+		base := rows[0]
+		for _, r := range rows {
+			t.Row(r.Shards,
+				stats.Sci(r.InsertTP), stats.Ratio(r.InsertTP, base.InsertTP),
+				stats.Sci(r.MixedTP), stats.Sci(r.ReadOps),
+				stats.Sci(float64(r.FinalElems)))
+		}
+		t.Write(out)
+		fmt.Fprintln(out)
 	}
 	if all || run["growfactor"] {
 		factors := []float64{1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0}

@@ -1,0 +1,89 @@
+// Shardserver: the sharded front-end as a tiny in-memory set server. The
+// CPMA itself is batch-parallel but single-writer; a ShardedSet multiplexes
+// many concurrently mutating clients onto P single-writer shards, so this
+// demo drives it from N writer goroutines and M reader goroutines at once —
+// a workload none of the underlying structures could accept alone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	shards := flag.Int("shards", 8, "number of CPMA shards")
+	writers := flag.Int("writers", 4, "concurrent writer clients")
+	readers := flag.Int("readers", 4, "concurrent reader clients")
+	batches := flag.Int("batches", 50, "batches per writer")
+	batchSize := flag.Int("batch", 10_000, "keys per batch")
+	flag.Parse()
+
+	s := repro.NewShardedSet(*shards, nil)
+
+	// Writers: each client streams its own uniform batches; roughly one in
+	// eight batches is retracted again to exercise deletes.
+	var inserted, removed atomic.Int64
+	var writerWG sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			r := repro.NewRNG(uint64(w) + 1)
+			for i := 0; i < *batches; i++ {
+				batch := repro.UniformKeys(r, *batchSize, 40)
+				inserted.Add(int64(s.InsertBatch(batch, false)))
+				if i%8 == 7 {
+					removed.Add(int64(s.RemoveBatch(batch[:len(batch)/2], false)))
+				}
+			}
+		}(w)
+	}
+
+	// Readers: point lookups and short range sums against live shards until
+	// the writers are done.
+	var lookups, rangeSums atomic.Int64
+	var done atomic.Bool
+	var readerWG sync.WaitGroup
+	for g := 0; g < *readers; g++ {
+		readerWG.Add(1)
+		go func(g int) {
+			defer readerWG.Done()
+			r := repro.NewRNG(uint64(1000 + g))
+			for ops := 0; !done.Load(); ops++ {
+				if ops%5 == 4 {
+					lo := r.Uint64() % (1 << 40)
+					s.RangeSum(lo, lo+1<<20)
+					rangeSums.Add(1)
+				} else {
+					s.Has(1 + r.Uint64()%(1<<40))
+					lookups.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	writerWG.Wait()
+	elapsed := time.Since(start)
+	done.Store(true)
+	readerWG.Wait()
+
+	updates := inserted.Load() + removed.Load()
+	fmt.Printf("%d shards, %d writers, %d readers, %.2fs\n", *shards, *writers, *readers, elapsed.Seconds())
+	fmt.Printf("applied %d inserts and %d removes (%.2e updates/s) alongside %d lookups and %d range sums\n",
+		inserted.Load(), removed.Load(), float64(updates)/elapsed.Seconds(), lookups.Load(), rangeSums.Load())
+	fmt.Printf("final set: %d keys in %.1f MB (%.2f bytes/key)\n",
+		s.Len(), float64(s.SizeBytes())/(1<<20), float64(s.SizeBytes())/float64(s.Len()))
+
+	// The merged view stays globally ordered across shards.
+	if lo, ok := s.Min(); ok {
+		hi, _ := s.Max()
+		_, cnt := s.RangeSum(lo, lo+(hi-lo)/1000)
+		fmt.Printf("keys span [%d, %d]; first 0.1%% of the span holds %d keys\n", lo, hi, cnt)
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/cpma"
 	"repro/internal/parallel"
 	"repro/internal/pma"
 	"repro/internal/rma"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -379,6 +381,114 @@ func Fig8RangeScaling(cfg MicroConfig, queries, avgLen int) []ScalingRow {
 	var rows []ScalingRow
 	for _, procs := range CoreCounts() {
 		rows = append(rows, ScalingRow{Procs: procs, PMATP: run(p, procs), CPMATP: run(c, procs)})
+	}
+	return rows
+}
+
+// ShardRow reports concurrent-clients throughput at one shard count.
+type ShardRow struct {
+	Shards     int
+	InsertTP   float64 // concurrent batch inserts / second
+	MixedTP    float64 // concurrent batch inserts / second with readers running
+	ReadOps    float64 // reader operations / second during the mixed phase
+	FinalElems int
+}
+
+// ShardCounts returns the sweep 1, 2, 4, ... up to max (always including
+// max itself).
+func ShardCounts(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for p := 1; p <= max; p *= 2 {
+		out = append(out, p)
+	}
+	if out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+// ShardConcurrentClients measures the sharded front-end beyond what the
+// single-writer CPMA can express: `clients` goroutines each stream private
+// uniform batches into one Sharded set concurrently. The first phase is
+// write-only; the second re-runs the writers while `readers` goroutines
+// issue point lookups and range sums against the same set. Sweeps shard
+// counts 1, 2, 4, ..., maxShards.
+func ShardConcurrentClients(cfg MicroConfig, maxShards, clients, readers, batchSize int) []ShardRow {
+	if clients < 1 {
+		clients = 1
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	perClient := cfg.TotalK / clients
+	if perClient < 1 {
+		perClient = 1
+	}
+	var rows []ShardRow
+	for _, p := range ShardCounts(maxShards) {
+		s := shard.New(p, nil)
+		r := workload.NewRNG(cfg.Seed)
+		s.InsertBatch(workload.Uniform(r, cfg.BaseN, workload.UniformBits), false)
+
+		clientBatches := make([][][]uint64, clients)
+		for c := range clientBatches {
+			rc := workload.NewRNG(cfg.Seed + uint64(c) + 1)
+			clientBatches[c] = makeBatches(rc, perClient, batchSize, false)
+		}
+		runWriters := func() {
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for _, b := range clientBatches[c] {
+						s.InsertBatch(b, false)
+					}
+				}(c)
+			}
+			wg.Wait()
+		}
+
+		row := ShardRow{Shards: p}
+		d := stats.Time(runWriters)
+		row.InsertTP = stats.Throughput(perClient*clients, d)
+
+		// Mixed phase: fresh key stream per writer so inserts stay real work,
+		// readers hammer lookups and short range sums until writers finish.
+		for c := range clientBatches {
+			rc := workload.NewRNG(cfg.Seed + uint64(clients+c) + 1)
+			clientBatches[c] = makeBatches(rc, perClient, batchSize, false)
+		}
+		var done atomic.Bool
+		var readOps atomic.Int64
+		var rwg sync.WaitGroup
+		for g := 0; g < readers; g++ {
+			rwg.Add(1)
+			go func(g int) {
+				defer rwg.Done()
+				rr := workload.NewRNG(cfg.Seed + uint64(1000+g))
+				keySpace := uint64(1) << workload.UniformBits
+				for !done.Load() {
+					if rr.Intn(4) == 0 {
+						start := rr.Uint64() % keySpace
+						s.RangeSum(start, start+4096)
+					} else {
+						s.Has(1 + rr.Uint64()%keySpace)
+					}
+					readOps.Add(1)
+				}
+			}(g)
+		}
+		d = stats.Time(runWriters)
+		done.Store(true)
+		rwg.Wait()
+		row.MixedTP = stats.Throughput(perClient*clients, d)
+		row.ReadOps = stats.Throughput(int(readOps.Load()), d)
+		row.FinalElems = s.Len()
+		rows = append(rows, row)
 	}
 	return rows
 }

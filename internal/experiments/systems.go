@@ -6,11 +6,14 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/cpma"
 	"repro/internal/pactree"
 	"repro/internal/pma"
 	"repro/internal/ptree"
 	"repro/internal/rma"
+	"repro/internal/shard"
 )
 
 // Set is the uniform face over the five set systems under test.
@@ -52,6 +55,17 @@ func UPaCMaker() SetMaker {
 // CPaCMaker returns the compressed PaC-tree baseline.
 func CPaCMaker() SetMaker {
 	return SetMaker{Name: "C-PaC", New: func() Set { return pactree.New(&pactree.Options{Compressed: true}) }}
+}
+
+// ShardedMaker returns the concurrent sharded CPMA front-end at a given
+// shard count. It is not part of AllSetMakers (the paper's tables compare
+// single-writer structures); the shards experiment and ad-hoc comparisons
+// use it.
+func ShardedMaker(shards int) SetMaker {
+	return SetMaker{
+		Name: fmt.Sprintf("Sharded-%d", shards),
+		New:  func() Set { return shard.New(shards, nil) },
+	}
 }
 
 // AllSetMakers returns the five systems in the paper's column order.

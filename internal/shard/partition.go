@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// scatterGrain is the block size of the parallel counting scatter.
+const scatterGrain = 8192
+
+// spanWidth returns the key span each shard covers under RangePartition:
+// the key space [0, 2^keyBits) divided into shards contiguous pieces.
+func spanWidth(keyBits, shards int) uint64 {
+	if keyBits >= 64 {
+		return ^uint64(0)/uint64(shards) + 1
+	}
+	total := uint64(1) << uint(keyBits)
+	w := total / uint64(shards)
+	if total%uint64(shards) != 0 {
+		w++
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// mix64 is the splitmix64 finalizer, the same bijective scramble the
+// workload generator uses to spread keys uniformly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// shardOf routes a key to its owning shard.
+func (s *Sharded) shardOf(key uint64) int {
+	if len(s.cells) == 1 {
+		return 0
+	}
+	if s.opt.Partition == RangePartition {
+		p := int(key / s.width)
+		if p >= len(s.cells) {
+			p = len(s.cells) - 1
+		}
+		return p
+	}
+	// Multiply-shift maps the hash onto [0, shards) without a modulo.
+	hi, _ := bits.Mul64(mix64(key), uint64(len(s.cells)))
+	return int(hi)
+}
+
+// shardSpan returns the inclusive shard interval overlapping [start, end):
+// the exact span under RangePartition, every shard under HashPartition.
+func (s *Sharded) shardSpan(start, end uint64) (lo, hi int) {
+	if s.opt.Partition == RangePartition {
+		return s.shardOf(start), s.shardOf(end - 1)
+	}
+	return 0, len(s.cells) - 1
+}
+
+// split partitions a batch into per-shard sub-batches, preserving input
+// order within each sub-batch (so sorted inputs yield sorted sub-batches).
+// Sorted range-partitioned batches split into subslices of the input with
+// no copying; everything else goes through a blocked two-pass parallel
+// counting scatter.
+func (s *Sharded) split(keys []uint64, sorted bool) [][]uint64 {
+	P := len(s.cells)
+	if P == 1 {
+		return [][]uint64{keys}
+	}
+	if s.opt.Partition == RangePartition && sorted {
+		subs := make([][]uint64, P)
+		lo := 0
+		for p := 0; p < P; p++ {
+			hi := len(keys)
+			if p+1 < P {
+				bound := uint64(p+1) * s.width // first key owned by shard p+1
+				hi = lo + sort.Search(len(keys)-lo, func(i int) bool { return keys[lo+i] >= bound })
+			}
+			subs[p] = keys[lo:hi]
+			lo = hi
+		}
+		return subs
+	}
+	return s.scatter(keys)
+}
+
+// scatter buckets keys by shard with a two-pass counting scatter: blocks
+// count in parallel, a shard-major prefix sum assigns every block a private
+// window in each bucket, and blocks then fill their windows in parallel
+// without synchronization. Input order is preserved within each bucket.
+func (s *Sharded) scatter(keys []uint64) [][]uint64 {
+	P := len(s.cells)
+	n := len(keys)
+	nb := (n + scatterGrain - 1) / scatterGrain
+	ids := make([]int32, n)
+	counts := make([]int, nb*P)
+	parallel.For(nb, 1, func(b int) {
+		lo, hi := b*scatterGrain, (b+1)*scatterGrain
+		if hi > n {
+			hi = n
+		}
+		row := counts[b*P : (b+1)*P]
+		for i := lo; i < hi; i++ {
+			id := int32(s.shardOf(keys[i]))
+			ids[i] = id
+			row[id]++
+		}
+	})
+	offsets := make([]int, nb*P)
+	totals := make([]int, P)
+	for p := 0; p < P; p++ {
+		run := 0
+		for b := 0; b < nb; b++ {
+			offsets[b*P+p] = run
+			run += counts[b*P+p]
+		}
+		totals[p] = run
+	}
+	subs := make([][]uint64, P)
+	for p := range subs {
+		if totals[p] > 0 {
+			subs[p] = make([]uint64, totals[p])
+		}
+	}
+	parallel.For(nb, 1, func(b int) {
+		lo, hi := b*scatterGrain, (b+1)*scatterGrain
+		if hi > n {
+			hi = n
+		}
+		pos := make([]int, P)
+		copy(pos, offsets[b*P:(b+1)*P])
+		for i := lo; i < hi; i++ {
+			id := ids[i]
+			subs[id][pos[id]] = keys[i]
+			pos[id]++
+		}
+	})
+	return subs
+}

@@ -1,0 +1,418 @@
+// Package shard layers a concurrent, sharded front-end over the
+// batch-parallel CPMA.
+//
+// The CPMA is batch-parallel, not concurrent (paper §2): a batch update uses
+// every core, but only a single writer may mutate the structure at a time,
+// which caps a server at one mutating client no matter how many cores are
+// free. A Sharded set turns P single-writer CPMAs into one concurrently
+// usable set — the way PaC-trees wrap batch-parallel structures behind a
+// concurrent collection interface. Keys are partitioned across P shards
+// (by hash or by key range), each shard owning one CPMA guarded by its own
+// RWMutex:
+//
+//   - Point mutations (Insert, Remove) lock only the owning shard.
+//   - Batch mutations (InsertBatch, RemoveBatch) scatter the batch into
+//     per-shard sub-batches and apply them with one writer goroutine per
+//     shard, so a single large batch still uses many cores and independent
+//     clients mutating different shards proceed in parallel.
+//   - Reads (Has, Next, MapRange, RangeSum, Sum, Len, Keys) take shard read
+//     locks, so any number of readers proceed concurrently with each other
+//     and with writers on other shards.
+//
+// Consistency contract: each shard is individually linearizable — its mutex
+// serializes access, and within a shard the CPMA's single-writer contract
+// is preserved by construction. Cross-shard reads (Len, Sum, Keys, a
+// MapRange spanning several shards, ...) do NOT take a global snapshot:
+// they observe each shard at a possibly different instant. Quiesce external
+// writers when a multi-shard read must be atomic. Iteration callbacks
+// (Map, MapRange) may run under a shard's read lock and must not call back
+// into the same Sharded.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cpma"
+	"repro/internal/parallel"
+)
+
+// Partition selects how keys are routed to shards.
+type Partition int
+
+const (
+	// HashPartition routes a key through a splitmix64 finalizer, spreading
+	// any input distribution evenly across shards. Ordered operations
+	// (MapRange, Keys) must merge across all shards.
+	HashPartition Partition = iota
+	// RangePartition splits the key space [1, 2^KeyBits) into P contiguous
+	// equal spans, so ordered operations touch only the overlapping shards.
+	// Skewed key distributions will load shards unevenly.
+	RangePartition
+)
+
+// Options configures a Sharded set.
+type Options struct {
+	// Partition selects the routing policy (default HashPartition).
+	Partition Partition
+	// KeyBits is the expected key width for RangePartition: keys are assumed
+	// to lie in [1, 2^KeyBits), and keys at or above 2^KeyBits all route to
+	// the last shard. 0 (or >64) means the full 64-bit space.
+	KeyBits int
+	// Set configures each shard's CPMA; nil selects the paper's defaults.
+	Set *cpma.Options
+}
+
+// cell is one shard: a CPMA plus its lock, padded so that neighboring
+// shards' locks do not share a cache line under write contention.
+type cell struct {
+	mu  sync.RWMutex
+	set *cpma.CPMA
+	_   [96]byte
+}
+
+// Sharded is a concurrent set of nonzero uint64 keys built from P
+// single-writer CPMA shards. The zero value is not usable; call New.
+type Sharded struct {
+	cells []cell
+	opt   Options
+	width uint64 // span per shard under RangePartition
+}
+
+// New returns a Sharded set with the given number of shards (clamped to at
+// least 1); opts may be nil for hash partitioning over default CPMAs.
+func New(shards int, opts *Options) *Sharded {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if o.KeyBits <= 0 || o.KeyBits > 64 {
+		o.KeyBits = 64
+	}
+	s := &Sharded{cells: make([]cell, shards), opt: o}
+	s.width = spanWidth(o.KeyBits, shards)
+	for i := range s.cells {
+		s.cells[i].set = cpma.New(o.Set)
+	}
+	return s
+}
+
+// Shards returns the number of shards.
+func (s *Sharded) Shards() int { return len(s.cells) }
+
+// Insert adds x, returning false if already present. Locks one shard.
+func (s *Sharded) Insert(x uint64) bool {
+	c := &s.cells[s.shardOf(x)]
+	c.mu.Lock()
+	ok := c.set.Insert(x)
+	c.mu.Unlock()
+	return ok
+}
+
+// Remove deletes x, returning false if absent. Locks one shard.
+func (s *Sharded) Remove(x uint64) bool {
+	c := &s.cells[s.shardOf(x)]
+	c.mu.Lock()
+	ok := c.set.Remove(x)
+	c.mu.Unlock()
+	return ok
+}
+
+// Has reports whether x is in the set. Read-locks one shard.
+func (s *Sharded) Has(x uint64) bool {
+	if x == 0 {
+		return false
+	}
+	c := &s.cells[s.shardOf(x)]
+	c.mu.RLock()
+	ok := c.set.Has(x)
+	c.mu.RUnlock()
+	return ok
+}
+
+// InsertBatch inserts a batch of keys, returning how many were new. The
+// batch is scattered into per-shard sub-batches applied by one writer
+// goroutine per shard. If sorted is true the keys must be in ascending
+// order (scattering preserves order, so sub-batches stay sorted).
+func (s *Sharded) InsertBatch(keys []uint64, sorted bool) int {
+	return s.batch(keys, sorted, func(set *cpma.CPMA, sub []uint64) int {
+		return set.InsertBatch(sub, sorted)
+	})
+}
+
+// RemoveBatch removes a batch of keys, returning how many were present.
+func (s *Sharded) RemoveBatch(keys []uint64, sorted bool) int {
+	return s.batch(keys, sorted, func(set *cpma.CPMA, sub []uint64) int {
+		return set.RemoveBatch(sub, sorted)
+	})
+}
+
+func (s *Sharded) batch(keys []uint64, sorted bool, apply func(set *cpma.CPMA, sub []uint64) int) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	subs := s.split(keys, sorted)
+	var total atomic.Int64
+	parallel.For(len(subs), 1, func(p int) {
+		sub := subs[p]
+		if len(sub) == 0 {
+			return
+		}
+		c := &s.cells[p]
+		c.mu.Lock()
+		n := apply(c.set, sub)
+		c.mu.Unlock()
+		total.Add(int64(n))
+	})
+	return int(total.Load())
+}
+
+// Len returns the number of keys stored, summed shard by shard (not a
+// global snapshot under concurrent writes).
+func (s *Sharded) Len() int {
+	total := 0
+	for i := range s.cells {
+		c := &s.cells[i]
+		c.mu.RLock()
+		total += c.set.Len()
+		c.mu.RUnlock()
+	}
+	return total
+}
+
+// SizeBytes returns the summed memory footprint of the shards.
+func (s *Sharded) SizeBytes() uint64 {
+	return parallel.ReduceSum(len(s.cells), 1, func(p int) uint64 {
+		c := &s.cells[p]
+		c.mu.RLock()
+		v := c.set.SizeBytes()
+		c.mu.RUnlock()
+		return v
+	})
+}
+
+// Sum returns the sum (mod 2^64) of all keys, shards processed in parallel.
+func (s *Sharded) Sum() uint64 {
+	return parallel.ReduceSum(len(s.cells), 1, func(p int) uint64 {
+		c := &s.cells[p]
+		c.mu.RLock()
+		v := c.set.Sum()
+		c.mu.RUnlock()
+		return v
+	})
+}
+
+// RangeSum sums keys in [start, end). Under RangePartition only the
+// overlapping shards are read; under HashPartition every shard is, in
+// parallel (order is irrelevant for a sum).
+func (s *Sharded) RangeSum(start, end uint64) (sum uint64, count int) {
+	if start >= end {
+		return 0, 0
+	}
+	lo, hi := s.shardSpan(start, end)
+	var su atomic.Uint64
+	var cnt atomic.Int64
+	parallel.For(hi-lo+1, 1, func(i int) {
+		c := &s.cells[lo+i]
+		c.mu.RLock()
+		v, k := c.set.RangeSum(start, end)
+		c.mu.RUnlock()
+		su.Add(v)
+		cnt.Add(int64(k))
+	})
+	return su.Load(), int(cnt.Load())
+}
+
+// Next returns the smallest key >= x across all shards.
+func (s *Sharded) Next(x uint64) (uint64, bool) {
+	if s.opt.Partition == RangePartition {
+		for p := s.shardOf(x); p < len(s.cells); p++ {
+			c := &s.cells[p]
+			c.mu.RLock()
+			v, ok := c.set.Next(x)
+			c.mu.RUnlock()
+			if ok {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	var best uint64
+	found := false
+	for p := range s.cells {
+		c := &s.cells[p]
+		c.mu.RLock()
+		v, ok := c.set.Next(x)
+		c.mu.RUnlock()
+		if ok && (!found || v < best) {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// Min returns the smallest key in the set.
+func (s *Sharded) Min() (uint64, bool) {
+	return s.Next(1)
+}
+
+// Max returns the largest key in the set.
+func (s *Sharded) Max() (uint64, bool) {
+	var best uint64
+	found := false
+	for p := len(s.cells) - 1; p >= 0; p-- {
+		c := &s.cells[p]
+		c.mu.RLock()
+		v, ok := c.set.Max()
+		c.mu.RUnlock()
+		if ok {
+			if s.opt.Partition == RangePartition {
+				return v, true
+			}
+			if !found || v > best {
+				best, found = v, true
+			}
+		}
+	}
+	return best, found
+}
+
+// MapRange applies f to keys in [start, end) in ascending order, stopping
+// early when f returns false; reports whether the scan completed. Under
+// RangePartition the overlapping shards stream in key order one at a time,
+// with f running under the current shard's read lock — f must not call back
+// into this Sharded, or it can deadlock against a waiting writer. Under
+// HashPartition the whole range is first gathered from every shard in
+// parallel and merged (so early exits still pay the full gather) and f runs
+// lock-free.
+func (s *Sharded) MapRange(start, end uint64, f func(uint64) bool) bool {
+	if start >= end {
+		return true
+	}
+	if s.opt.Partition == RangePartition {
+		lo, hi := s.shardSpan(start, end)
+		for p := lo; p <= hi; p++ {
+			c := &s.cells[p]
+			c.mu.RLock()
+			done := c.set.MapRange(start, end, f)
+			c.mu.RUnlock()
+			if !done {
+				return false
+			}
+		}
+		return true
+	}
+	for _, v := range s.gatherMerge(start, end) {
+		if !f(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Map applies f to every key in ascending order, stopping early when f
+// returns false; reports whether the scan completed. The same locking
+// contract as MapRange applies: under RangePartition f runs under shard
+// read locks and must not call back into this Sharded.
+func (s *Sharded) Map(f func(uint64) bool) bool {
+	if s.opt.Partition == RangePartition {
+		for p := range s.cells {
+			c := &s.cells[p]
+			c.mu.RLock()
+			done := c.set.Map(f)
+			c.mu.RUnlock()
+			if !done {
+				return false
+			}
+		}
+		return true
+	}
+	for _, v := range s.gatherMerge(1, ^uint64(0)) {
+		if !f(v) {
+			return false
+		}
+	}
+	// gatherMerge's half-open range cannot express the maximum key.
+	top := ^uint64(0)
+	if s.Has(top) && !f(top) {
+		return false
+	}
+	return true
+}
+
+// Keys returns all keys in ascending order; primarily for tests.
+func (s *Sharded) Keys() []uint64 {
+	out := make([]uint64, 0, s.Len())
+	s.Map(func(v uint64) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// gatherMerge collects each shard's slice of [start, end) under its read
+// lock (shards in parallel) and merges the per-shard sorted runs. Shards
+// hold disjoint keys, so a plain merge suffices.
+func (s *Sharded) gatherMerge(start, end uint64) []uint64 {
+	lists := make([][]uint64, len(s.cells))
+	parallel.For(len(s.cells), 1, func(p int) {
+		c := &s.cells[p]
+		c.mu.RLock()
+		var keys []uint64
+		c.set.MapRange(start, end, func(v uint64) bool {
+			keys = append(keys, v)
+			return true
+		})
+		c.mu.RUnlock()
+		lists[p] = keys
+	})
+	return mergeLists(lists)
+}
+
+// mergeLists merges disjoint sorted runs pairwise (log P rounds of the
+// load-balanced parallel merge).
+func mergeLists(lists [][]uint64) []uint64 {
+	for len(lists) > 1 {
+		next := make([][]uint64, 0, (len(lists)+1)/2)
+		for i := 0; i+1 < len(lists); i += 2 {
+			a, b := lists[i], lists[i+1]
+			switch {
+			case len(a) == 0:
+				next = append(next, b)
+			case len(b) == 0:
+				next = append(next, a)
+			default:
+				out := make([]uint64, len(a)+len(b))
+				parallel.Merge(a, b, out)
+				next = append(next, out)
+			}
+		}
+		if len(lists)%2 == 1 {
+			next = append(next, lists[len(lists)-1])
+		}
+		lists = next
+	}
+	if len(lists) == 0 {
+		return nil
+	}
+	return lists[0]
+}
+
+// Validate checks every shard's CPMA invariants (a test helper); callers
+// must quiesce writers first.
+func (s *Sharded) Validate() error {
+	for p := range s.cells {
+		c := &s.cells[p]
+		c.mu.RLock()
+		err := c.set.Validate()
+		c.mu.RUnlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", p, err)
+		}
+	}
+	return nil
+}

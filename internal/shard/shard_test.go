@@ -1,0 +1,231 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/cpma"
+	"repro/internal/workload"
+)
+
+func configs() map[string]*Options {
+	return map[string]*Options{
+		"hash-1":   {Partition: HashPartition},
+		"hash-4":   {Partition: HashPartition},
+		"hash-7":   {Partition: HashPartition},
+		"range-4":  {Partition: RangePartition, KeyBits: workload.UniformBits},
+		"range-5":  {Partition: RangePartition, KeyBits: 64},
+		"range-64": {Partition: RangePartition, KeyBits: 16},
+	}
+}
+
+func shardCount(name string) int {
+	switch name {
+	case "hash-1":
+		return 1
+	case "hash-4", "range-4":
+		return 4
+	case "hash-7":
+		return 7
+	case "range-5":
+		return 5
+	default:
+		return 64
+	}
+}
+
+func TestPointOps(t *testing.T) {
+	for name, opt := range configs() {
+		t.Run(name, func(t *testing.T) {
+			s := New(shardCount(name), opt)
+			keys := []uint64{5, 1, 9, 1 << 15, 77, 1<<15 + 1, 3}
+			for _, k := range keys {
+				if !s.Insert(k) {
+					t.Fatalf("Insert(%d) reported duplicate", k)
+				}
+			}
+			if s.Insert(5) {
+				t.Fatal("duplicate Insert(5) reported new")
+			}
+			if got := s.Len(); got != len(keys) {
+				t.Fatalf("Len = %d, want %d", got, len(keys))
+			}
+			for _, k := range keys {
+				if !s.Has(k) {
+					t.Fatalf("Has(%d) = false", k)
+				}
+			}
+			if s.Has(2) || s.Has(0) {
+				t.Fatal("Has reported absent key present")
+			}
+			if v, ok := s.Min(); !ok || v != 1 {
+				t.Fatalf("Min = %d,%v want 1", v, ok)
+			}
+			if v, ok := s.Max(); !ok || v != 1<<15+1 {
+				t.Fatalf("Max = %d,%v want %d", v, ok, 1<<15+1)
+			}
+			if v, ok := s.Next(6); !ok || v != 9 {
+				t.Fatalf("Next(6) = %d,%v want 9", v, ok)
+			}
+			if !s.Remove(9) || s.Remove(9) {
+				t.Fatal("Remove(9) wrong")
+			}
+			if v, ok := s.Next(6); !ok || v != 77 {
+				t.Fatalf("Next(6) after remove = %d,%v want 77", v, ok)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBatchAgainstSingleCPMA(t *testing.T) {
+	for name, opt := range configs() {
+		t.Run(name, func(t *testing.T) {
+			s := New(shardCount(name), opt)
+			ref := cpma.New(nil)
+			r := workload.NewRNG(7)
+			for round := 0; round < 6; round++ {
+				ins := workload.Uniform(r, 5000, 16)
+				gotIns := s.InsertBatch(ins, false)
+				wantIns := ref.InsertBatch(ins, false)
+				if gotIns != wantIns {
+					t.Fatalf("round %d: InsertBatch added %d, want %d", round, gotIns, wantIns)
+				}
+				del := workload.Uniform(r, 2000, 16)
+				gotDel := s.RemoveBatch(del, false)
+				wantDel := ref.RemoveBatch(del, false)
+				if gotDel != wantDel {
+					t.Fatalf("round %d: RemoveBatch removed %d, want %d", round, gotDel, wantDel)
+				}
+				if s.Len() != ref.Len() {
+					t.Fatalf("round %d: Len = %d, want %d", round, s.Len(), ref.Len())
+				}
+				if s.Sum() != ref.Sum() {
+					t.Fatalf("round %d: Sum mismatch", round)
+				}
+				if err := s.Validate(); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+			}
+			got, want := s.Keys(), ref.Keys()
+			if len(got) != len(want) {
+				t.Fatalf("Keys length %d, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Keys[%d] = %d, want %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSortedBatchSplit(t *testing.T) {
+	for name, opt := range configs() {
+		t.Run(name, func(t *testing.T) {
+			s := New(shardCount(name), opt)
+			keys := make([]uint64, 0, 10000)
+			for k := uint64(1); k <= 10000; k++ {
+				keys = append(keys, k*3)
+			}
+			if got := s.InsertBatch(keys, true); got != len(keys) {
+				t.Fatalf("sorted InsertBatch added %d, want %d", got, len(keys))
+			}
+			if got := s.InsertBatch(keys, true); got != 0 {
+				t.Fatalf("repeat sorted InsertBatch added %d, want 0", got)
+			}
+			if got := s.RemoveBatch(keys[:5000], true); got != 5000 {
+				t.Fatalf("sorted RemoveBatch removed %d, want 5000", got)
+			}
+			if s.Len() != 5000 {
+				t.Fatalf("Len = %d, want 5000", s.Len())
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	for name, opt := range configs() {
+		t.Run(name, func(t *testing.T) {
+			s := New(shardCount(name), opt)
+			ref := cpma.New(nil)
+			r := workload.NewRNG(11)
+			keys := workload.Uniform(r, 20000, 16)
+			s.InsertBatch(keys, false)
+			ref.InsertBatch(keys, false)
+			for trial := 0; trial < 30; trial++ {
+				start := r.Uint64() % (1 << 16)
+				end := start + r.Uint64()%(1<<14)
+				var got, want []uint64
+				s.MapRange(start, end, func(v uint64) bool { got = append(got, v); return true })
+				ref.MapRange(start, end, func(v uint64) bool { want = append(want, v); return true })
+				if len(got) != len(want) {
+					t.Fatalf("[%d,%d): %d keys, want %d", start, end, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("[%d,%d) pos %d: %d, want %d", start, end, i, got[i], want[i])
+					}
+				}
+				gs, gc := s.RangeSum(start, end)
+				ws, wc := ref.RangeSum(start, end)
+				if gs != ws || gc != wc {
+					t.Fatalf("RangeSum [%d,%d) = %d,%d want %d,%d", start, end, gs, gc, ws, wc)
+				}
+			}
+			// Early termination stops the scan.
+			visited := 0
+			if s.MapRange(0, ^uint64(0), func(v uint64) bool { visited++; return visited < 10 }) {
+				t.Fatal("MapRange reported complete despite early stop")
+			}
+			if visited != 10 {
+				t.Fatalf("early stop visited %d, want 10", visited)
+			}
+		})
+	}
+}
+
+func TestRoutingIsTotal(t *testing.T) {
+	for _, opt := range []*Options{
+		{Partition: HashPartition},
+		{Partition: RangePartition, KeyBits: 40},
+		{Partition: RangePartition, KeyBits: 64},
+	} {
+		for _, p := range []int{1, 2, 3, 5, 8, 64} {
+			s := New(p, opt)
+			r := workload.NewRNG(3)
+			for i := 0; i < 10000; i++ {
+				k := r.Uint64()
+				if id := s.shardOf(k); id < 0 || id >= p {
+					t.Fatalf("shardOf(%d) = %d out of [0,%d)", k, id, p)
+				}
+			}
+			// Range routing must be monotone in the key.
+			if opt.Partition == RangePartition {
+				prev := 0
+				for _, k := range []uint64{1, 1 << 10, 1 << 20, 1 << 39, 1 << 63, ^uint64(0)} {
+					id := s.shardOf(k)
+					if id < prev {
+						t.Fatalf("range shardOf not monotone at %d: %d < %d", k, id, prev)
+					}
+					prev = id
+				}
+			}
+		}
+	}
+}
+
+func TestZeroShardClamp(t *testing.T) {
+	s := New(0, nil)
+	if s.Shards() != 1 {
+		t.Fatalf("Shards = %d, want 1", s.Shards())
+	}
+	s.Insert(9)
+	if !s.Has(9) {
+		t.Fatal("single-shard set lost key")
+	}
+}

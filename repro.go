@@ -1,19 +1,36 @@
 // Package repro is the public API of this reproduction of "CPMA: An
 // Efficient Batch-Parallel Compressed Set Without Pointers" (PPoPP 2024).
 //
-// It exposes three layers:
+// It exposes four layers:
 //
 //   - Set — the batch-parallel Compressed Packed Memory Array (the paper's
 //     primary contribution): a compressed, dynamic, ordered set of uint64
 //     keys with parallel batch updates and cache-friendly range maps.
 //   - PMA — the uncompressed batch-parallel Packed Memory Array.
+//   - ShardedSet — a concurrent front-end over P single-writer Sets, for
+//     servers with many mutating clients.
 //   - FGraph — the F-Graph dynamic-graph system built on a single Set, with
 //     the PageRank, ConnectedComponents, and BC kernels.
 //
 // Keys are nonzero uint64 values (0 is reserved as the empty-cell
-// sentinel). All containers are single-writer: batch operations
-// parallelize internally, but concurrent mutation is not supported —
-// batch-parallel, not concurrent, as defined in §2 of the paper.
+// sentinel).
+//
+// # Concurrency
+//
+// Set, PMA, and FGraph are single-writer: batch operations parallelize
+// internally, but concurrent mutation is not supported — batch-parallel,
+// not concurrent, as defined in §2 of the paper.
+//
+// ShardedSet relaxes that at the system level while preserving it per
+// structure: keys are partitioned across P shards, each one Set guarded by
+// its own RWMutex, so at most one writer ever mutates a given shard (the
+// single-writer-per-shard contract) while writers on different shards and
+// any number of readers proceed concurrently. Batches scatter into
+// per-shard sub-batches applied by one writer goroutine per shard, each of
+// which still runs the Set's parallel batch algorithm inside the shard.
+// Cross-shard reads (Len, Sum, Keys, multi-shard MapRange) observe each
+// shard at a possibly different instant — per-shard consistency, no global
+// snapshot; quiesce writers when an atomic multi-shard view is required.
 //
 // Quick start:
 //
@@ -27,6 +44,7 @@ import (
 	"repro/internal/fgraph"
 	"repro/internal/graph"
 	"repro/internal/pma"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -43,6 +61,30 @@ func NewSet(opts *SetOptions) *Set { return cpma.New(opts) }
 
 // SetFromSorted builds a CPMA from sorted, duplicate-free, nonzero keys.
 func SetFromSorted(keys []uint64, opts *SetOptions) *Set { return cpma.FromSorted(keys, opts) }
+
+// ShardedSet is a concurrent set assembled from P single-writer Sets
+// behind per-shard RWMutexes (see the package documentation's concurrency
+// contract).
+type ShardedSet = shard.Sharded
+
+// ShardedSetOptions configures a ShardedSet beyond NewShardedSet's
+// defaults: the partitioning policy (hash or contiguous key ranges), the
+// expected key width for range partitioning, and per-shard Set options.
+type ShardedSetOptions = shard.Options
+
+// NewShardedSet returns a concurrently usable set of `shards`
+// hash-partitioned Sets; opts configures each shard's Set and may be nil
+// for the paper's defaults. Use NewShardedSetWith to select range
+// partitioning instead.
+func NewShardedSet(shards int, opts *SetOptions) *ShardedSet {
+	return shard.New(shards, &shard.Options{Set: opts})
+}
+
+// NewShardedSetWith returns a ShardedSet with full control over
+// partitioning; opts may be nil.
+func NewShardedSetWith(shards int, opts *ShardedSetOptions) *ShardedSet {
+	return shard.New(shards, opts)
+}
 
 // PMA is the uncompressed batch-parallel Packed Memory Array.
 type PMA = pma.PMA
