@@ -16,7 +16,11 @@
 // sharded front-end from 1 to -shards shards, with -clients goroutines
 // streaming batch inserts concurrently (something a single-writer CPMA
 // cannot accept) and -readers goroutines issuing point lookups and range
-// sums during the mixed phase.
+// sums during the mixed phase; -partition selects hash or range routing.
+// It then sweeps the asynchronous mailbox pipeline over clients × mailbox
+// depth (-depths), comparing fire-and-forget ingest (with a final Flush)
+// against the blocking front-end and reporting the achieved coalesced
+// batch size.
 package main
 
 import (
@@ -24,9 +28,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"repro/internal/cachesim"
 	"repro/internal/experiments"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -39,7 +46,21 @@ func main() {
 	shards := flag.Int("shards", runtime.NumCPU(), "max shard count for the shards experiment")
 	clients := flag.Int("clients", 4, "concurrent writer clients for the shards experiment")
 	readers := flag.Int("readers", 2, "concurrent readers in the shards mixed phase")
+	partition := flag.String("partition", "hash", "shards experiment key routing: hash|range")
+	depths := flag.String("depths", "1,8,64", "mailbox depths for the async ingest sweep")
+	asyncBatch := flag.Int("asyncbatch", 500, "keys per client batch in the async ingest sweep")
 	flag.Parse()
+
+	part, err := parsePartition(*partition)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	depthList, err := parseInts(*depths)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -depths: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := experiments.MicroConfig{BaseN: *n, TotalK: *k, Seed: *seed, Trials: *trials}
 	args := flag.Args()
@@ -55,14 +76,17 @@ func main() {
 	out := os.Stdout
 	fmt.Fprintf(out, "cpma-bench: n=%d k=%d GOMAXPROCS=%d\n\n", *n, *k, runtime.GOMAXPROCS(0))
 
+	// The fig1/fig2 comparison tables carry the sharded front-end flavors
+	// alongside the paper's five single-writer systems.
+	makers := experiments.ComparisonSetMakers(*shards)
 	if all || run["fig1"] {
-		rows := experiments.Fig1BatchInsert(experiments.AllSetMakers(), cfg, false)
-		experiments.WriteInsertRows(out, "Figure 1 / Table 9: parallel batch-insert throughput (inserts/s), uniform 40-bit", experiments.AllSetMakers(), rows)
+		rows := experiments.Fig1BatchInsert(makers, cfg, false)
+		experiments.WriteInsertRows(out, "Figure 1 / Table 9: parallel batch-insert throughput (inserts/s), uniform 40-bit", makers, rows)
 		fmt.Fprintln(out)
 	}
 	if all || run["fig2"] {
-		rows := experiments.Fig2RangeQuery(experiments.AllSetMakers(), cfg, *queries)
-		experiments.WriteRangeRows(out, "Figure 2 / Table 10: range-query throughput (elements/s)", experiments.AllSetMakers(), rows)
+		rows := experiments.Fig2RangeQuery(makers, cfg, *queries)
+		experiments.WriteRangeRows(out, "Figure 2 / Table 10: range-query throughput (elements/s)", makers, rows)
 		fmt.Fprintln(out)
 	}
 	if all || run["fig11"] {
@@ -154,8 +178,9 @@ func main() {
 		if bs < 1 {
 			bs = 1
 		}
-		rows := experiments.ShardConcurrentClients(cfg, *shards, *clients, *readers, bs)
-		fmt.Fprintf(out, "Sharded front-end: %d concurrent clients, batch %d, 1..%d shards\n", *clients, bs, *shards)
+		rows := experiments.ShardConcurrentClients(cfg, *shards, *clients, *readers, bs, part)
+		fmt.Fprintf(out, "Sharded front-end (%s partition): %d concurrent clients, batch %d, 1..%d shards\n",
+			*partition, *clients, bs, *shards)
 		t := stats.NewTable("shards", "insert TP", "speedup", "mixed TP", "reads/s", "final n")
 		base := rows[0]
 		for _, r := range rows {
@@ -165,6 +190,19 @@ func main() {
 				stats.Sci(float64(r.FinalElems)))
 		}
 		t.Write(out)
+		fmt.Fprintln(out)
+
+		arows := experiments.ShardAsyncIngest(cfg, *shards, *clients, depthList, *asyncBatch, part)
+		fmt.Fprintf(out, "Async ingest pipeline (%s partition): %d shards, client batch %d, clients x mailbox depth\n",
+			*partition, *shards, *asyncBatch)
+		at := stats.NewTable("clients", "depth", "sync TP", "async TP", "async/sync", "sub-batch", "applied", "coalesce")
+		for _, r := range arows {
+			at.Row(r.Clients, r.Depth,
+				stats.Sci(r.SyncTP), stats.Sci(r.AsyncTP), stats.Ratio(r.AsyncTP, r.SyncTP),
+				fmt.Sprintf("%.0f", r.MeanSubBatch), fmt.Sprintf("%.0f", r.MeanApplied),
+				stats.Ratio(r.MeanApplied, r.MeanSubBatch))
+		}
+		at.Write(out)
 		fmt.Fprintln(out)
 	}
 	if all || run["growfactor"] {
@@ -179,6 +217,34 @@ func main() {
 		t.Write(out)
 		fmt.Fprintln(out)
 	}
+}
+
+func parsePartition(s string) (shard.Partition, error) {
+	switch s {
+	case "hash":
+		return shard.HashPartition, nil
+	case "range":
+		return shard.RangePartition, nil
+	}
+	return 0, fmt.Errorf("bad -partition %q: want hash or range", s)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("value %d out of range", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
 }
 
 func writeScaling(rows []experiments.ScalingRow) {

@@ -1,8 +1,13 @@
-// Shardserver: the sharded front-end as a tiny in-memory set server. The
-// CPMA itself is batch-parallel but single-writer; a ShardedSet multiplexes
-// many concurrently mutating clients onto P single-writer shards, so this
-// demo drives it from N writer goroutines and M reader goroutines at once —
-// a workload none of the underlying structures could accept alone.
+// Shardserver: the sharded front-end as a tiny in-memory set server,
+// running the asynchronous ingest pipeline. The CPMA itself is
+// batch-parallel but single-writer; an async ShardedSet multiplexes many
+// concurrently mutating clients onto P single-writer shards, each fed by
+// a bounded mailbox whose writer goroutine coalesces adjacent batches
+// into one large merged apply. Writers here fire-and-forget their
+// batches (InsertBatchAsync/RemoveBatchAsync) while readers issue point
+// lookups and range sums against the applied state; a Flush barrier then
+// separates the ingest phase from the query phase, so the summary
+// queries observe every enqueued update.
 package main
 
 import (
@@ -21,13 +26,20 @@ func main() {
 	readers := flag.Int("readers", 4, "concurrent reader clients")
 	batches := flag.Int("batches", 50, "batches per writer")
 	batchSize := flag.Int("batch", 10_000, "keys per batch")
+	depth := flag.Int("depth", 0, "mailbox depth per shard (0 = default)")
 	flag.Parse()
 
-	s := repro.NewShardedSet(*shards, nil)
+	s := repro.NewShardedSetWith(*shards, &repro.ShardedSetOptions{
+		Async:        true,
+		MailboxDepth: *depth,
+	})
+	defer s.Close()
 
-	// Writers: each client streams its own uniform batches; roughly one in
-	// eight batches is retracted again to exercise deletes.
-	var inserted, removed atomic.Int64
+	// Writers: each client streams its own uniform batches into the
+	// mailboxes and moves on immediately; roughly one in eight batches is
+	// retracted again to exercise deletes. Per-client enqueue order is
+	// preserved shard by shard, so each retraction lands after its insert.
+	var enqueued, retracted atomic.Int64
 	var writerWG sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < *writers; w++ {
@@ -37,16 +49,18 @@ func main() {
 			r := repro.NewRNG(uint64(w) + 1)
 			for i := 0; i < *batches; i++ {
 				batch := repro.UniformKeys(r, *batchSize, 40)
-				inserted.Add(int64(s.InsertBatch(batch, false)))
+				s.InsertBatchAsync(batch, false)
+				enqueued.Add(int64(len(batch)))
 				if i%8 == 7 {
-					removed.Add(int64(s.RemoveBatch(batch[:len(batch)/2], false)))
+					s.RemoveBatchAsync(batch[:len(batch)/2], false)
+					retracted.Add(int64(len(batch) / 2))
 				}
 			}
 		}(w)
 	}
 
-	// Readers: point lookups and short range sums against live shards until
-	// the writers are done.
+	// Readers: point lookups and short range sums against the applied
+	// state (read-through) until the writers are done enqueueing.
 	var lookups, rangeSums atomic.Int64
 	var done atomic.Bool
 	var readerWG sync.WaitGroup
@@ -69,14 +83,23 @@ func main() {
 	}
 
 	writerWG.Wait()
+	enqueueDone := time.Since(start)
+	// Flush-before-query: the barrier after which every enqueued update is
+	// applied and the query phase sees the final state.
+	s.Flush()
 	elapsed := time.Since(start)
 	done.Store(true)
 	readerWG.Wait()
 
-	updates := inserted.Load() + removed.Load()
-	fmt.Printf("%d shards, %d writers, %d readers, %.2fs\n", *shards, *writers, *readers, elapsed.Seconds())
-	fmt.Printf("applied %d inserts and %d removes (%.2e updates/s) alongside %d lookups and %d range sums\n",
-		inserted.Load(), removed.Load(), float64(updates)/elapsed.Seconds(), lookups.Load(), rangeSums.Load())
+	updates := enqueued.Load() + retracted.Load()
+	st := s.IngestStats()
+	fmt.Printf("%d shards (mailbox pipeline), %d writers, %d readers, %.2fs (+%.0fms flush)\n",
+		*shards, *writers, *readers, elapsed.Seconds(), (elapsed-enqueueDone).Seconds()*1000)
+	fmt.Printf("enqueued %d inserts and %d removes (%.2e updates/s) alongside %d lookups and %d range sums\n",
+		enqueued.Load(), retracted.Load(), float64(updates)/elapsed.Seconds(), lookups.Load(), rangeSums.Load())
+	fmt.Printf("coalescing: %d sub-batches (mean %.0f keys) applied as %d merges (mean %.0f keys, %.1fx)\n",
+		st.EnqueuedBatches, st.MeanEnqueuedBatch(), st.AppliedBatches, st.MeanAppliedBatch(),
+		st.MeanAppliedBatch()/st.MeanEnqueuedBatch())
 	fmt.Printf("final set: %d keys in %.1f MB (%.2f bytes/key)\n",
 		s.Len(), float64(s.SizeBytes())/(1<<20), float64(s.SizeBytes())/float64(s.Len()))
 

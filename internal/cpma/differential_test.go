@@ -89,8 +89,11 @@ func (m *model) Range(start, end uint64) []uint64 {
 	return m.keys[lo:hi]
 }
 
+// smallLeaf shrinks the CPMA leaves so the random walks cross many more
+// leaf boundaries, splits, and rebuilds than default sizing would.
+var smallLeaf = &cpma.Options{LeafBytes: 256, PointThreshold: 10}
+
 func systems() map[string]func() sut {
-	smallLeaf := &cpma.Options{LeafBytes: 256, PointThreshold: 10}
 	return map[string]func() sut{
 		"cpma":       func() sut { return cpma.New(nil) },
 		"cpma-small": func() sut { return cpma.New(smallLeaf) },
@@ -101,6 +104,17 @@ func systems() map[string]func() sut {
 		"shard-range": func() sut {
 			return shard.New(3, &shard.Options{Partition: shard.RangePartition, KeyBits: 18, Set: smallLeaf})
 		},
+		// The async mailbox pipeline, driven through its synchronous
+		// (ticketed enqueue + wait) batch paths: every step's counts must
+		// stay exact and every read must observe the preceding mutations.
+		"shard-async": func() sut {
+			return shard.New(4, &shard.Options{Partition: shard.HashPartition, Set: smallLeaf,
+				Async: true, MailboxDepth: 4})
+		},
+		"shard-async-flushreads": func() sut {
+			return shard.New(3, &shard.Options{Partition: shard.RangePartition, KeyBits: 18, Set: smallLeaf,
+				Async: true, MailboxDepth: 2, FlushReads: true})
+		},
 	}
 }
 
@@ -109,6 +123,13 @@ func validate(s sut) error {
 		return v.Validate()
 	}
 	return nil
+}
+
+// closeSut stops an async system's shard writers when the test ends.
+func closeSut(t *testing.T, s sut) {
+	if c, ok := s.(interface{ Close() }); ok {
+		t.Cleanup(c.Close)
+	}
 }
 
 // step applies one random operation to both the model and the system and
@@ -193,6 +214,7 @@ func TestDifferential(t *testing.T) {
 					r := workload.NewRNG(seed)
 					m := &model{}
 					s := mk()
+					closeSut(t, s)
 					for i := 0; i < steps; i++ {
 						desc := step(t, r, bits, m, s)
 						if got, want := s.Len(), len(m.keys); got != want {
@@ -220,6 +242,65 @@ func TestDifferential(t *testing.T) {
 	}
 }
 
+// TestDifferentialAsync drives the async mailbox pipeline the way it is
+// meant to be used — bursts of fire-and-forget enqueues — against the
+// sorted-slice model. Enqueues from one goroutine apply in order per
+// shard, so after a barrier the contents must equal the model's replay of
+// the same burst sequence. One variant establishes the barrier with an
+// explicit Flush; the other relies on FlushReads, where every read
+// flushes the shards it touches on demand.
+func TestDifferentialAsync(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		opt           *shard.Options
+		explicitFlush bool
+	}{
+		{"flush", &shard.Options{Partition: shard.HashPartition, Set: smallLeaf,
+			Async: true, MailboxDepth: 4}, true},
+		{"flushreads", &shard.Options{Partition: shard.RangePartition, KeyBits: 18, Set: smallLeaf,
+			Async: true, MailboxDepth: 2, FlushReads: true}, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := shard.New(3, tc.opt)
+			t.Cleanup(s.Close)
+			m := &model{}
+			r := workload.NewRNG(5)
+			for round := 0; round < 40; round++ {
+				for b := 1 + r.Intn(8); b > 0; b-- {
+					keys := workload.Uniform(r, 1+r.Intn(400), 16)
+					if r.Intn(3) == 0 {
+						s.RemoveBatchAsync(keys, false)
+						m.RemoveBatch(keys)
+					} else {
+						s.InsertBatchAsync(keys, false)
+						m.InsertBatch(keys)
+					}
+				}
+				if tc.explicitFlush {
+					s.Flush()
+				}
+				if got, want := s.Len(), len(m.keys); got != want {
+					t.Fatalf("round %d: Len = %d, model says %d", round, got, want)
+				}
+				if round%8 == 7 || round == 39 {
+					got := s.Keys()
+					if len(got) != len(m.keys) {
+						t.Fatalf("round %d: Keys length %d, model says %d", round, len(got), len(m.keys))
+					}
+					for i := range got {
+						if got[i] != m.keys[i] {
+							t.Fatalf("round %d: Keys[%d] = %d, model says %d", round, i, got[i], m.keys[i])
+						}
+					}
+					if err := s.Validate(); err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestDifferentialFromSorted seeds each system from a prebuilt sorted base
 // (the bulk-load path) before the random walk.
 func TestDifferentialFromSorted(t *testing.T) {
@@ -230,6 +311,7 @@ func TestDifferentialFromSorted(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			m := &model{}
 			s := mk()
+			closeSut(t, s)
 			s.InsertBatch(base, true)
 			m.InsertBatch(base)
 			for i := 0; i < 300; i++ {

@@ -66,6 +66,7 @@ func Fig1BatchInsert(makers []SetMaker, cfg MicroConfig, zipf bool) []InsertRow 
 					s.InsertBatch(b, false)
 				}
 			})
+			closeSet(s)
 			row.Throughput[mk.Name] = stats.Throughput(cfg.TotalK, d)
 		}
 		rows = append(rows, row)
@@ -147,6 +148,9 @@ func Fig2RangeQuery(makers []SetMaker, cfg MicroConfig, queries int) []RangeRow 
 			row.Throughput[mk.Name] = stats.Throughput(int(elems), d)
 		}
 		rows = append(rows, row)
+	}
+	for _, s := range systems {
+		closeSet(s)
 	}
 	return rows
 }
@@ -292,6 +296,7 @@ func Table6Space(makers []SetMaker, sizes []int, seed uint64) []Table6Row {
 			s := mk.New()
 			s.InsertBatch(keys, false)
 			row.BytesPerElem[mk.Name] = float64(s.SizeBytes()) / float64(s.Len())
+			closeSet(s)
 		}
 		rows = append(rows, row)
 	}
@@ -410,13 +415,19 @@ func ShardCounts(max int) []int {
 	return out
 }
 
+// shardOptions builds the Options one shards experiment uses: the chosen
+// partition policy over the microbenchmark key space.
+func shardOptions(part shard.Partition) *shard.Options {
+	return &shard.Options{Partition: part, KeyBits: workload.UniformBits}
+}
+
 // ShardConcurrentClients measures the sharded front-end beyond what the
 // single-writer CPMA can express: `clients` goroutines each stream private
 // uniform batches into one Sharded set concurrently. The first phase is
 // write-only; the second re-runs the writers while `readers` goroutines
 // issue point lookups and range sums against the same set. Sweeps shard
-// counts 1, 2, 4, ..., maxShards.
-func ShardConcurrentClients(cfg MicroConfig, maxShards, clients, readers, batchSize int) []ShardRow {
+// counts 1, 2, 4, ..., maxShards under the given partition policy.
+func ShardConcurrentClients(cfg MicroConfig, maxShards, clients, readers, batchSize int, part shard.Partition) []ShardRow {
 	if clients < 1 {
 		clients = 1
 	}
@@ -429,7 +440,7 @@ func ShardConcurrentClients(cfg MicroConfig, maxShards, clients, readers, batchS
 	}
 	var rows []ShardRow
 	for _, p := range ShardCounts(maxShards) {
-		s := shard.New(p, nil)
+		s := shard.New(p, shardOptions(part))
 		r := workload.NewRNG(cfg.Seed)
 		s.InsertBatch(workload.Uniform(r, cfg.BaseN, workload.UniformBits), false)
 
@@ -489,6 +500,93 @@ func ShardConcurrentClients(cfg MicroConfig, maxShards, clients, readers, batchS
 		row.ReadOps = stats.Throughput(int(readOps.Load()), d)
 		row.FinalElems = s.Len()
 		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AsyncIngestRow reports the async pipeline at one (clients, mailbox
+// depth) point against the synchronous front-end at equal shard count.
+type AsyncIngestRow struct {
+	Clients      int
+	Depth        int     // mailbox depth (pending sub-batches per shard)
+	SyncTP       float64 // blocking InsertBatch inserts / second
+	AsyncTP      float64 // InsertBatchAsync + final Flush inserts / second
+	MeanSubBatch float64 // mean keys per enqueued sub-batch
+	MeanApplied  float64 // mean keys per merged apply (coalescing win)
+}
+
+// ShardAsyncIngest sweeps the asynchronous ingest pipeline over client
+// count (1, 2, 4, ..., maxClients) and mailbox depth: every client streams
+// small private batches — the adversarial regime for the synchronous
+// front-end, which forfeits the CPMA's batch-size amortization — and the
+// per-shard writers coalesce whatever accumulates. Each row compares
+// against the synchronous front-end at the same shard and client count and
+// reports the achieved coalescing (mean applied-batch size over mean
+// enqueued sub-batch size).
+func ShardAsyncIngest(cfg MicroConfig, shards, maxClients int, depths []int, batchSize int, part shard.Partition) []AsyncIngestRow {
+	if shards < 1 {
+		shards = 1
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	base := workload.Uniform(workload.NewRNG(cfg.Seed), cfg.BaseN, workload.UniformBits)
+	var rows []AsyncIngestRow
+	for _, clients := range ShardCounts(maxClients) {
+		perClient := cfg.TotalK / clients
+		if perClient < 1 {
+			perClient = 1
+		}
+		clientBatches := make([][][]uint64, clients)
+		for c := range clientBatches {
+			rc := workload.NewRNG(cfg.Seed + uint64(c) + 1)
+			clientBatches[c] = makeBatches(rc, perClient, batchSize, false)
+		}
+		total := perClient * clients
+
+		runClients := func(ingest func(c int, b []uint64)) {
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for _, b := range clientBatches[c] {
+						ingest(c, b)
+					}
+				}(c)
+			}
+			wg.Wait()
+		}
+
+		sync_ := shard.New(shards, shardOptions(part))
+		sync_.InsertBatch(base, false)
+		d := stats.Time(func() {
+			runClients(func(_ int, b []uint64) { sync_.InsertBatch(b, false) })
+		})
+		syncTP := stats.Throughput(total, d)
+
+		for _, depth := range depths {
+			opt := shardOptions(part)
+			opt.Async = true
+			opt.MailboxDepth = depth
+			s := shard.New(shards, opt)
+			s.InsertBatch(base, false)
+			before := s.IngestStats()
+			d := stats.Time(func() {
+				runClients(func(_ int, b []uint64) { s.InsertBatchAsync(b, false) })
+				s.Flush() // the measured phase ends only once everything applied
+			})
+			st := s.IngestStats().Sub(before)
+			s.Close()
+			rows = append(rows, AsyncIngestRow{
+				Clients:      clients,
+				Depth:        depth,
+				SyncTP:       syncTP,
+				AsyncTP:      stats.Throughput(total, d),
+				MeanSubBatch: st.MeanEnqueuedBatch(),
+				MeanApplied:  st.MeanAppliedBatch(),
+			})
+		}
 	}
 	return rows
 }

@@ -1,0 +1,285 @@
+package shard
+
+// The asynchronous ingest pipeline: each shard owns a bounded mailbox of
+// pending operations drained by a dedicated writer goroutine. Clients
+// enqueue sorted sub-batches and return immediately (async) or wait on a
+// completion ticket (sync); the writer greedily drains whatever has
+// accumulated, merges runs of adjacent same-kind fire-and-forget batches
+// into one sorted run, and applies it as a single InsertBatch/RemoveBatch
+// under the shard lock. Coalescing is what makes the pipeline fast: the
+// CPMA's rebalance cost amortizes with batch size (paper Fig. 1), so under
+// many clients sending small batches the writer applies few large merges
+// instead of many small ones.
+
+import (
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// opKind labels a mailbox operation.
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opRemove
+	opFlush
+)
+
+// shardOp is one mailbox entry: a sorted sub-batch destined for the
+// owning shard (opInsert/opRemove), or a flush token (opFlush). keys must
+// not be read after the op's apply completes: fire-and-forget enqueues
+// hand over copies the pipeline owns outright, but ticketed ops may alias
+// the caller's slice, which the caller is free to reuse the moment its
+// ticket completes (asyncSplit documents the ownership matrix). A non-nil
+// ticket makes the op synchronous: the writer applies it individually
+// (for an exact fresh/removed count) and completes the ticket;
+// ticket-free ops are the coalescable fast path.
+type shardOp struct {
+	kind opKind
+	keys []uint64
+	tk   *ticket
+}
+
+// ticket is a completion barrier shared by the per-shard sub-ops of one
+// logical operation. Each sub-op completes it once, adding its count; the
+// waiter unblocks when the last shard reports in.
+type ticket struct {
+	remaining atomic.Int32
+	total     atomic.Int64
+	done      chan struct{}
+}
+
+func newTicket(parts int) *ticket {
+	t := &ticket{done: make(chan struct{})}
+	t.remaining.Store(int32(parts))
+	return t
+}
+
+func (t *ticket) complete(n int) {
+	t.total.Add(int64(n))
+	if t.remaining.Add(-1) == 0 {
+		close(t.done)
+	}
+}
+
+func (t *ticket) wait() int {
+	<-t.done
+	return int(t.total.Load())
+}
+
+// IngestStats counts the batch traffic through a Sharded set: sub-batches
+// as enqueued by clients versus merged applies executed by the shard
+// writers. AppliedKeys always converges to EnqueuedKeys once the pipeline
+// is flushed; AppliedBatches <= EnqueuedBatches, and the gap is the
+// coalescing win (mean applied-batch size / mean enqueued sub-batch size).
+// In synchronous mode both sides count the per-shard applies directly.
+type IngestStats struct {
+	EnqueuedBatches uint64 // sub-batches handed to shards
+	EnqueuedKeys    uint64 // keys across those sub-batches
+	AppliedBatches  uint64 // merged InsertBatch/RemoveBatch calls at shards
+	AppliedKeys     uint64 // keys across those applies (pre-dedup)
+}
+
+// MeanEnqueuedBatch returns the mean keys per enqueued sub-batch.
+func (st IngestStats) MeanEnqueuedBatch() float64 {
+	if st.EnqueuedBatches == 0 {
+		return 0
+	}
+	return float64(st.EnqueuedKeys) / float64(st.EnqueuedBatches)
+}
+
+// MeanAppliedBatch returns the mean keys per merged apply.
+func (st IngestStats) MeanAppliedBatch() float64 {
+	if st.AppliedBatches == 0 {
+		return 0
+	}
+	return float64(st.AppliedKeys) / float64(st.AppliedBatches)
+}
+
+// Sub returns the counter deltas st - prev (for measuring one phase).
+func (st IngestStats) Sub(prev IngestStats) IngestStats {
+	return IngestStats{
+		EnqueuedBatches: st.EnqueuedBatches - prev.EnqueuedBatches,
+		EnqueuedKeys:    st.EnqueuedKeys - prev.EnqueuedKeys,
+		AppliedBatches:  st.AppliedBatches - prev.AppliedBatches,
+		AppliedKeys:     st.AppliedKeys - prev.AppliedKeys,
+	}
+}
+
+// IngestStats returns the batch-traffic counters summed over all shards.
+// Counters are monotone; snapshot before and after a phase and Sub the two
+// to measure it.
+func (s *Sharded) IngestStats() IngestStats {
+	var st IngestStats
+	for p := range s.cells {
+		c := &s.cells[p]
+		st.EnqueuedBatches += c.enqBatches.Load()
+		st.EnqueuedKeys += c.enqKeys.Load()
+		st.AppliedBatches += c.appBatches.Load()
+		st.AppliedKeys += c.appKeys.Load()
+	}
+	return st
+}
+
+// writerScratch holds one writer's reusable buffers: the drained-op list
+// and two ping-pong merge arenas, so steady-state coalescing allocates
+// nothing beyond what the CPMA itself needs.
+type writerScratch struct {
+	pending []shardOp
+	runs    [][]uint64
+	bufs    [2][]uint64
+}
+
+// maxRetainedArena caps the merge-arena capacity (in keys) a writer keeps
+// between drains; a one-off burst near CoalesceMax must not pin megabytes
+// of scratch for the rest of the set's lifetime.
+const maxRetainedArena = 1 << 16
+
+// release drops references the last drain no longer needs: the applied
+// key slices behind pending/runs (so their arrays become collectable) and
+// any arena an unusually large coalesce grew past the retention cap.
+func (ws *writerScratch) release() {
+	clear(ws.pending[:cap(ws.pending)]) // full capacity: drop prior drains' stale headers too
+	clear(ws.runs[:cap(ws.runs)])
+	for i := range ws.bufs {
+		if cap(ws.bufs[i]) > maxRetainedArena {
+			ws.bufs[i] = nil
+		}
+	}
+}
+
+// writer is shard p's single mutator: it blocks for the next op, greedily
+// drains whatever else is already buffered (up to CoalesceMax keys), and
+// applies the drained prefix in order. It exits when the mailbox is closed
+// and fully drained, so Close doubles as a final flush.
+func (s *Sharded) writer(p int) {
+	defer s.writers.Done()
+	c := &s.cells[p]
+	var ws writerScratch
+	for {
+		op, ok := <-c.mbox
+		if !ok {
+			return
+		}
+		ws.pending = append(ws.pending[:0], op)
+		n := len(op.keys)
+		closed := false
+	drain:
+		for n < s.opt.CoalesceMax {
+			select {
+			case op2, ok2 := <-c.mbox:
+				if !ok2 {
+					closed = true
+					break drain
+				}
+				ws.pending = append(ws.pending, op2)
+				n += len(op2.keys)
+			default:
+				break drain
+			}
+		}
+		s.applyPending(c, &ws)
+		ws.release()
+		if closed {
+			return
+		}
+	}
+}
+
+// applyPending executes the drained ops in mailbox order. Maximal runs of
+// adjacent ticket-free ops of one kind merge into a single sorted apply;
+// ticketed ops apply alone so their fresh/removed counts stay exact; flush
+// tokens just complete their tickets (everything enqueued before them has
+// been applied by the time they are reached).
+func (s *Sharded) applyPending(c *cell, ws *writerScratch) {
+	pending := ws.pending
+	for i := 0; i < len(pending); {
+		op := pending[i]
+		switch {
+		case op.kind == opFlush:
+			op.tk.complete(0)
+			i++
+		case op.tk != nil:
+			op.tk.complete(applyOne(c, op.kind, op.keys))
+			i++
+		default:
+			j := i + 1
+			for j < len(pending) && pending[j].kind == op.kind && pending[j].tk == nil {
+				j++
+			}
+			keys := op.keys
+			if j > i+1 {
+				ws.runs = ws.runs[:0]
+				for k := i; k < j; k++ {
+					ws.runs = append(ws.runs, pending[k].keys)
+				}
+				keys = mergeRuns(ws.runs, &ws.bufs)
+			}
+			applyOne(c, op.kind, keys)
+			i = j
+		}
+	}
+}
+
+// applyOne applies one sorted batch to the shard under its lock and
+// records it in the ingest counters.
+func applyOne(c *cell, kind opKind, keys []uint64) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	c.appBatches.Add(1)
+	c.appKeys.Add(uint64(len(keys)))
+	c.mu.Lock()
+	var n int
+	if kind == opInsert {
+		n = c.set.InsertBatch(keys, true)
+	} else {
+		n = c.set.RemoveBatch(keys, true)
+	}
+	c.mu.Unlock()
+	return n
+}
+
+// mergeRuns merges the k sorted runs into one sorted slice with
+// level-by-level pairwise rounds (O(total log k) element moves),
+// ping-ponging between two reusable arenas. Every round writes all of its
+// output — including a copied odd leftover — into that round's arena, so
+// no round ever reads the arena it is writing. Duplicates across runs are
+// preserved — the CPMA's batch preparation dedups sorted input — so a
+// plain merge suffices. runs is clobbered; the result aliases one of the
+// arenas and is only valid until the next call.
+func mergeRuns(runs [][]uint64, bufs *[2][]uint64) []uint64 {
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	which := 0
+	for len(runs) > 1 {
+		dst := bufs[which]
+		if cap(dst) < total {
+			dst = make([]uint64, total)
+		}
+		dst = dst[:total]
+		bufs[which] = dst
+		which ^= 1
+		off, n := 0, 0
+		for i := 0; i+1 < len(runs); i += 2 {
+			a, b := runs[i], runs[i+1]
+			out := dst[off : off+len(a)+len(b)]
+			parallel.Merge(a, b, out)
+			runs[n] = out
+			n++
+			off += len(out)
+		}
+		if len(runs)%2 == 1 {
+			last := runs[len(runs)-1]
+			out := dst[off : off+len(last)]
+			copy(out, last)
+			runs[n] = out
+			n++
+		}
+		runs = runs[:n]
+	}
+	return runs[0]
+}

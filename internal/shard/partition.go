@@ -68,14 +68,16 @@ func (s *Sharded) shardSpan(start, end uint64) (lo, hi int) {
 // order within each sub-batch (so sorted inputs yield sorted sub-batches).
 // Sorted range-partitioned batches split into subslices of the input with
 // no copying; everything else goes through a blocked two-pass parallel
-// counting scatter.
-func (s *Sharded) split(keys []uint64, sorted bool) [][]uint64 {
+// counting scatter. aliased reports whether the sub-batches share memory
+// with keys — the ownership fact asyncSplit's copy decision depends on,
+// returned here so it cannot drift from the implementation.
+func (s *Sharded) split(keys []uint64, sorted bool) (subs [][]uint64, aliased bool) {
 	P := len(s.cells)
 	if P == 1 {
-		return [][]uint64{keys}
+		return [][]uint64{keys}, true
 	}
 	if s.opt.Partition == RangePartition && sorted {
-		subs := make([][]uint64, P)
+		subs = make([][]uint64, P)
 		lo := 0
 		for p := 0; p < P; p++ {
 			hi := len(keys)
@@ -86,9 +88,40 @@ func (s *Sharded) split(keys []uint64, sorted bool) [][]uint64 {
 			subs[p] = keys[lo:hi]
 			lo = hi
 		}
-		return subs
+		return subs, true
 	}
-	return s.scatter(keys)
+	return s.scatter(keys), false
+}
+
+// asyncSplit partitions a batch into per-shard sub-batches that are sorted
+// and safe for the ingest pipeline to hold: a fire-and-forget enqueue
+// outlives the call, so its sub-batches must never alias the caller's
+// slice (which the caller is free to reuse the moment the enqueue
+// returns). A ticketed enqueue (wait) blocks until the writers have
+// consumed the keys, so aliasing is safe and the defensive copy is
+// skipped. Unsorted input is sorted up front — the writers' coalescing
+// merge needs sorted runs — which also makes every split path below
+// order-preserving.
+func (s *Sharded) asyncSplit(keys []uint64, sorted, wait bool) [][]uint64 {
+	if len(keys) == 0 {
+		return nil
+	}
+	owned := false
+	if !sorted {
+		keys = parallel.SortedCopy(keys)
+		owned = true
+	}
+	subs, aliased := s.split(keys, true)
+	// Aliased sub-batches need copies unless the sort above produced a
+	// private copy or the caller waits for the apply.
+	if aliased && !owned && !wait {
+		for p, sub := range subs {
+			if len(sub) > 0 {
+				subs[p] = append(make([]uint64, 0, len(sub)), sub...)
+			}
+		}
+	}
+	return subs
 }
 
 // scatter buckets keys by shard with a two-pass counting scatter: blocks

@@ -108,6 +108,82 @@ func TestConcurrentDisjointWriters(t *testing.T) {
 	}
 }
 
+// TestAsyncIngestRace hammers the mailbox pipeline: concurrent async
+// enqueuers (with occasional synchronous ticketed batches and point ops),
+// readers, and a flusher, finishing with a Close that races the readers
+// and flusher. Meaningful mostly under -race; without the detector it
+// still verifies that Close drains every enqueued key.
+func TestAsyncIngestRace(t *testing.T) {
+	for _, opt := range []*Options{
+		{Async: true, MailboxDepth: 4, Partition: HashPartition},
+		{Async: true, MailboxDepth: 2, Partition: RangePartition, KeyBits: 18, FlushReads: true},
+	} {
+		s := New(4, opt)
+		const writers = 4
+		var wwg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wwg.Add(1)
+			go func(w int) {
+				defer wwg.Done()
+				r := workload.NewRNG(uint64(300 + w))
+				for i := 0; i < 25; i++ {
+					s.InsertBatchAsync(workload.Uniform(r, 1500, 18), false)
+					switch i % 5 {
+					case 2:
+						s.RemoveBatchAsync(workload.Uniform(r, 700, 18), false)
+					case 4:
+						s.InsertBatch(workload.Uniform(r, 100, 18), false) // ticketed sync path
+						s.Insert(1 + r.Uint64()%(1<<18))
+					}
+				}
+			}(w)
+		}
+		var done atomic.Bool
+		var rwg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			rwg.Add(1)
+			go func(g int) {
+				defer rwg.Done()
+				r := workload.NewRNG(uint64(400 + g))
+				for !done.Load() {
+					switch r.Intn(4) {
+					case 0:
+						s.Has(1 + r.Uint64()%(1<<18))
+					case 1:
+						start := r.Uint64() % (1 << 18)
+						s.RangeSum(start, start+2048)
+					case 2:
+						s.Len()
+					default:
+						s.MapRange(1, 4096, func(uint64) bool { return true })
+					}
+				}
+			}(g)
+		}
+		rwg.Add(1)
+		go func() { // flusher: Flush must be safe against a concurrent Close
+			defer rwg.Done()
+			for !done.Load() {
+				s.Flush()
+			}
+		}()
+		wwg.Wait()
+		s.Close()
+		done.Store(true)
+		rwg.Wait()
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		st := s.IngestStats()
+		if st.AppliedKeys != st.EnqueuedKeys {
+			t.Fatalf("Close left keys behind: applied %d of %d", st.AppliedKeys, st.EnqueuedKeys)
+		}
+		if st.AppliedBatches > st.EnqueuedBatches {
+			t.Fatalf("more applies than sub-batches: %+v", st)
+		}
+	}
+}
+
 func TestConcurrentInsertRemoveConverge(t *testing.T) {
 	// Writers insert and remove overlapping uniform batches; afterwards the
 	// set must equal the result of replaying the same per-client streams

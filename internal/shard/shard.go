@@ -19,14 +19,55 @@
 //     locks, so any number of readers proceed concurrently with each other
 //     and with writers on other shards.
 //
-// Consistency contract: each shard is individually linearizable — its mutex
-// serializes access, and within a shard the CPMA's single-writer contract
-// is preserved by construction. Cross-shard reads (Len, Sum, Keys, a
-// MapRange spanning several shards, ...) do NOT take a global snapshot:
-// they observe each shard at a possibly different instant. Quiesce external
-// writers when a multi-shard read must be atomic. Iteration callbacks
-// (Map, MapRange) may run under a shard's read lock and must not call back
-// into the same Sharded.
+// # Asynchronous ingest (Options.Async)
+//
+// In the default synchronous mode every batch call blocks until its
+// sub-batches land, so under many concurrent clients each shard applies a
+// stream of small batches and forfeits exactly the amortization that makes
+// CPMA batches fast (larger merged batches insert strictly faster per
+// element — paper Fig. 1). Async mode decouples accepting updates from
+// applying them: each shard owns a bounded mailbox (Options.MailboxDepth)
+// drained by a dedicated writer goroutine that coalesces adjacent pending
+// sub-batches into one sorted merge and applies it as a single batch under
+// the shard lock.
+//
+//   - InsertBatchAsync/RemoveBatchAsync scatter, enqueue, and return
+//     without waiting for the apply. A full mailbox exerts backpressure:
+//     the enqueue blocks until the writer catches up.
+//   - InsertBatch/RemoveBatch on an async set enqueue with a completion
+//     ticket and wait, so they remain exact (their fresh/removed counts are
+//     computed by applying them individually) and everything they enqueued
+//     is applied when they return.
+//   - Flush blocks until every operation enqueued before the call is
+//     applied; it is the read barrier for async ingest. Operations enqueued
+//     concurrently with a Flush may or may not be covered by it.
+//   - Close drains all mailboxes (a final implicit Flush), stops the
+//     writers, and makes further mutations panic; reads remain valid on the
+//     closed set. Close must not race with in-flight mutations, but is safe
+//     against concurrent Flush and reads, and is idempotent.
+//
+// # Consistency contract
+//
+// Each shard is individually linearizable — its mailbox is FIFO and its
+// mutex serializes access, so within a shard the CPMA's single-writer
+// contract is preserved by construction, and all operations enqueued by
+// one goroutine apply in their enqueue order on every shard they touch.
+// Operations from different goroutines interleave in mailbox arrival
+// order, exactly as lock-acquisition order interleaves them in synchronous
+// mode.
+//
+// Reads on an async set read through by default: they observe only what
+// the writers have applied, so a client's own fire-and-forget batches may
+// be invisible until a Flush. Setting Options.FlushReads makes every read
+// flush the shards it touches first (read-your-enqueues at per-shard
+// cost); Len, Sum, Keys and friends then flush every shard.
+//
+// Cross-shard reads (Len, Sum, Keys, a MapRange spanning several shards,
+// ...) do NOT take a global snapshot in either mode: they observe each
+// shard at a possibly different instant. Quiesce external writers (in
+// async mode: quiesce clients, then Flush) when a multi-shard read must be
+// atomic. Iteration callbacks (Map, MapRange) may run under a shard's read
+// lock and must not call back into the same Sharded.
 package shard
 
 import (
@@ -52,6 +93,14 @@ const (
 	RangePartition
 )
 
+// Default async tuning: a mailbox holds up to DefaultMailboxDepth pending
+// sub-batches, and one drain coalesces at most DefaultCoalesceMax keys
+// into a single apply (a single larger batch is still applied whole).
+const (
+	DefaultMailboxDepth = 64
+	DefaultCoalesceMax  = 1 << 20
+)
+
 // Options configures a Sharded set.
 type Options struct {
 	// Partition selects the routing policy (default HashPartition).
@@ -62,14 +111,48 @@ type Options struct {
 	KeyBits int
 	// Set configures each shard's CPMA; nil selects the paper's defaults.
 	Set *cpma.Options
+
+	// Async enables the mailbox ingest pipeline (see the package
+	// documentation): per-shard writer goroutines drain bounded mailboxes
+	// and coalesce pending sub-batches into large merged applies. Async
+	// sets should be Closed when done to stop their writers.
+	Async bool
+	// MailboxDepth bounds each shard's mailbox (pending sub-batches); a
+	// full mailbox blocks enqueues. 0 means DefaultMailboxDepth.
+	MailboxDepth int
+	// CoalesceMax caps the keys one drain merges into a single apply.
+	// 0 means DefaultCoalesceMax.
+	CoalesceMax int
+	// FlushReads makes every read flush the shards it touches before
+	// reading, so reads observe all previously enqueued operations. The
+	// default is read-through: reads see only applied state.
+	FlushReads bool
 }
 
-// cell is one shard: a CPMA plus its lock, padded so that neighboring
-// shards' locks do not share a cache line under write contention.
+// cell is one shard: a CPMA plus its lock, mailbox, and ingest counters,
+// padded so that neighboring shards' hot state does not share a cache line
+// under write contention.
 type cell struct {
-	mu  sync.RWMutex
-	set *cpma.CPMA
-	_   [96]byte
+	mu   sync.RWMutex
+	set  *cpma.CPMA
+	mbox chan shardOp
+
+	enqBatches atomic.Uint64
+	enqKeys    atomic.Uint64
+	appBatches atomic.Uint64
+	appKeys    atomic.Uint64
+
+	_ [56]byte
+}
+
+// countOne records a synchronous point op in the ingest counters (a
+// sub-batch of one, applied directly), keeping IngestStats comparable
+// between the sync and async modes.
+func (c *cell) countOne() {
+	c.enqBatches.Add(1)
+	c.enqKeys.Add(1)
+	c.appBatches.Add(1)
+	c.appKeys.Add(1)
 }
 
 // Sharded is a concurrent set of nonzero uint64 keys built from P
@@ -78,6 +161,12 @@ type Sharded struct {
 	cells []cell
 	opt   Options
 	width uint64 // span per shard under RangePartition
+
+	// Async lifecycle: enqueues hold life.RLock while sending; Close takes
+	// life.Lock to set closed, so no send can race the mailbox close.
+	life    sync.RWMutex
+	closed  bool
+	writers sync.WaitGroup
 }
 
 // New returns a Sharded set with the given number of shards (clamped to at
@@ -93,10 +182,25 @@ func New(shards int, opts *Options) *Sharded {
 	if o.KeyBits <= 0 || o.KeyBits > 64 {
 		o.KeyBits = 64
 	}
+	if o.MailboxDepth <= 0 {
+		o.MailboxDepth = DefaultMailboxDepth
+	}
+	if o.CoalesceMax <= 0 {
+		o.CoalesceMax = DefaultCoalesceMax
+	}
 	s := &Sharded{cells: make([]cell, shards), opt: o}
 	s.width = spanWidth(o.KeyBits, shards)
 	for i := range s.cells {
 		s.cells[i].set = cpma.New(o.Set)
+	}
+	if o.Async {
+		for i := range s.cells {
+			s.cells[i].mbox = make(chan shardOp, o.MailboxDepth)
+		}
+		s.writers.Add(shards)
+		for i := range s.cells {
+			go s.writer(i)
+		}
 	}
 	return s
 }
@@ -104,18 +208,58 @@ func New(shards int, opts *Options) *Sharded {
 // Shards returns the number of shards.
 func (s *Sharded) Shards() int { return len(s.cells) }
 
-// Insert adds x, returning false if already present. Locks one shard.
+// Async reports whether this set runs the mailbox ingest pipeline.
+func (s *Sharded) Async() bool { return s.opt.Async }
+
+// checkKey rejects the reserved key 0 at the API boundary, in the caller's
+// goroutine — once writers are asynchronous, a panic inside one would be
+// unrecoverable for the client that enqueued the bad key.
+func checkKey(x uint64) {
+	if x == 0 {
+		panic("shard: key 0 is reserved")
+	}
+}
+
+// checkKeys rejects batches containing the reserved key 0. Sorted batches
+// only need their first element checked.
+func checkKeys(keys []uint64, sorted bool) {
+	if len(keys) == 0 {
+		return
+	}
+	if sorted {
+		checkKey(keys[0])
+		return
+	}
+	for _, k := range keys {
+		checkKey(k)
+	}
+}
+
+// Insert adds x, returning false if already present. Locks one shard; on
+// an async set it routes through the owning shard's mailbox (behind any
+// batches already enqueued) and waits for the apply.
 func (s *Sharded) Insert(x uint64) bool {
+	checkKey(x)
+	if s.opt.Async {
+		return s.enqueueOne(opInsert, x)
+	}
 	c := &s.cells[s.shardOf(x)]
+	c.countOne()
 	c.mu.Lock()
 	ok := c.set.Insert(x)
 	c.mu.Unlock()
 	return ok
 }
 
-// Remove deletes x, returning false if absent. Locks one shard.
+// Remove deletes x, returning false if absent. Locks one shard; on an
+// async set it routes through the mailbox like Insert.
 func (s *Sharded) Remove(x uint64) bool {
+	checkKey(x)
+	if s.opt.Async {
+		return s.enqueueOne(opRemove, x)
+	}
 	c := &s.cells[s.shardOf(x)]
+	c.countOne()
 	c.mu.Lock()
 	ok := c.set.Remove(x)
 	c.mu.Unlock()
@@ -127,7 +271,11 @@ func (s *Sharded) Has(x uint64) bool {
 	if x == 0 {
 		return false
 	}
-	c := &s.cells[s.shardOf(x)]
+	p := s.shardOf(x)
+	if s.opt.FlushReads {
+		s.flushSpan(p, p)
+	}
+	c := &s.cells[p]
 	c.mu.RLock()
 	ok := c.set.Has(x)
 	c.mu.RUnlock()
@@ -137,8 +285,14 @@ func (s *Sharded) Has(x uint64) bool {
 // InsertBatch inserts a batch of keys, returning how many were new. The
 // batch is scattered into per-shard sub-batches applied by one writer
 // goroutine per shard. If sorted is true the keys must be in ascending
-// order (scattering preserves order, so sub-batches stay sorted).
+// order (scattering preserves order, so sub-batches stay sorted). On an
+// async set the sub-batches go through the mailboxes with a completion
+// ticket, so the call still blocks until applied and the count is exact.
 func (s *Sharded) InsertBatch(keys []uint64, sorted bool) int {
+	checkKeys(keys, sorted)
+	if s.opt.Async {
+		return s.enqueue(opInsert, keys, sorted, true)
+	}
 	return s.batch(keys, sorted, func(set *cpma.CPMA, sub []uint64) int {
 		return set.InsertBatch(sub, sorted)
 	})
@@ -146,16 +300,171 @@ func (s *Sharded) InsertBatch(keys []uint64, sorted bool) int {
 
 // RemoveBatch removes a batch of keys, returning how many were present.
 func (s *Sharded) RemoveBatch(keys []uint64, sorted bool) int {
+	checkKeys(keys, sorted)
+	if s.opt.Async {
+		return s.enqueue(opRemove, keys, sorted, true)
+	}
 	return s.batch(keys, sorted, func(set *cpma.CPMA, sub []uint64) int {
 		return set.RemoveBatch(sub, sorted)
 	})
+}
+
+// InsertBatchAsync enqueues a batch for insertion and returns without
+// waiting for it to apply; use Flush (or a FlushReads read) to observe it.
+// A full shard mailbox blocks until its writer catches up (backpressure).
+// On a synchronous set it falls back to a plain blocking InsertBatch.
+func (s *Sharded) InsertBatchAsync(keys []uint64, sorted bool) {
+	if !s.opt.Async {
+		s.InsertBatch(keys, sorted)
+		return
+	}
+	checkKeys(keys, sorted)
+	s.enqueue(opInsert, keys, sorted, false)
+}
+
+// RemoveBatchAsync enqueues a batch for removal and returns without
+// waiting; the same contract as InsertBatchAsync.
+func (s *Sharded) RemoveBatchAsync(keys []uint64, sorted bool) {
+	if !s.opt.Async {
+		s.RemoveBatch(keys, sorted)
+		return
+	}
+	checkKeys(keys, sorted)
+	s.enqueue(opRemove, keys, sorted, false)
+}
+
+// enqueueOne mails a single-key ticketed op straight to its owning shard —
+// the point-op path, skipping the scatter machinery entirely — and waits
+// for the apply, reporting whether the key was fresh (insert) or present
+// (remove). The fresh slice keeps the mailbox from aliasing caller memory.
+func (s *Sharded) enqueueOne(kind opKind, x uint64) bool {
+	tk := newTicket(1)
+	c := &s.cells[s.shardOf(x)]
+	s.life.RLock()
+	if s.closed {
+		s.life.RUnlock()
+		panic("shard: mutation on closed Sharded")
+	}
+	c.enqBatches.Add(1)
+	c.enqKeys.Add(1)
+	c.mbox <- shardOp{kind: kind, keys: []uint64{x}, tk: tk}
+	s.life.RUnlock()
+	return tk.wait() == 1
+}
+
+// enqueue scatters keys into sorted sub-batches and mails each to its
+// shard. With wait set it attaches a completion ticket, blocks until
+// every shard has applied its part, and returns the summed exact count;
+// otherwise it returns 0 as soon as everything is enqueued (see asyncSplit
+// for when sub-batches may alias the caller's slice).
+func (s *Sharded) enqueue(kind opKind, keys []uint64, sorted bool, wait bool) int {
+	subs := s.asyncSplit(keys, sorted, wait)
+	parts := 0
+	for _, sub := range subs {
+		if len(sub) > 0 {
+			parts++
+		}
+	}
+	if parts == 0 {
+		// Nothing to mail, but use-after-close is a bug even with an empty
+		// batch — honor the Close contract before returning.
+		s.life.RLock()
+		closed := s.closed
+		s.life.RUnlock()
+		if closed {
+			panic("shard: mutation on closed Sharded")
+		}
+		return 0
+	}
+	var tk *ticket
+	if wait {
+		tk = newTicket(parts)
+	}
+	s.life.RLock()
+	if s.closed {
+		s.life.RUnlock()
+		panic("shard: mutation on closed Sharded")
+	}
+	for p, sub := range subs {
+		if len(sub) == 0 {
+			continue
+		}
+		c := &s.cells[p]
+		c.enqBatches.Add(1)
+		c.enqKeys.Add(uint64(len(sub)))
+		c.mbox <- shardOp{kind: kind, keys: sub, tk: tk}
+	}
+	s.life.RUnlock()
+	if wait {
+		return tk.wait()
+	}
+	return 0
+}
+
+// Flush blocks until every operation enqueued before the call has been
+// applied, establishing a read barrier across all shards — even when it
+// races a concurrent Close, in which case it waits for Close's final
+// drain. On a synchronous set it returns immediately.
+func (s *Sharded) Flush() {
+	s.flushSpan(0, len(s.cells)-1)
+}
+
+// flushSpan flushes shards [lo, hi] by mailing each a flush token and
+// waiting for all of them; mailbox FIFO order means everything enqueued
+// earlier has applied by the time a token completes.
+func (s *Sharded) flushSpan(lo, hi int) {
+	if !s.opt.Async {
+		return
+	}
+	s.life.RLock()
+	if s.closed {
+		s.life.RUnlock()
+		// Close is (or was) draining; a barrier must still not return
+		// until everything previously enqueued has been applied.
+		s.writers.Wait()
+		return
+	}
+	tk := newTicket(hi - lo + 1)
+	for p := lo; p <= hi; p++ {
+		s.cells[p].mbox <- shardOp{kind: opFlush, tk: tk}
+	}
+	s.life.RUnlock()
+	tk.wait()
+}
+
+// Close drains all mailboxes, stops the writer goroutines, and marks the
+// set closed: further mutations panic, Flush becomes a no-op, and reads
+// keep working against the final state. Idempotent; safe against
+// concurrent Flush and reads, but must not race in-flight mutations. A
+// no-op on synchronous sets.
+func (s *Sharded) Close() {
+	if !s.opt.Async {
+		return
+	}
+	s.life.Lock()
+	if s.closed {
+		s.life.Unlock()
+		// Another Close won the race to set the flag; still wait for the
+		// drain so every caller of Close observes the fully applied state.
+		s.writers.Wait()
+		return
+	}
+	s.closed = true
+	s.life.Unlock()
+	// No sender can be in-flight past this point: enqueues take life.RLock
+	// and observe closed. Closing the mailboxes is the writers' drain-and-
+	// exit signal, so Close doubles as a final Flush.
+	for p := range s.cells {
+		close(s.cells[p].mbox)
+	}
+	s.writers.Wait()
 }
 
 func (s *Sharded) batch(keys []uint64, sorted bool, apply func(set *cpma.CPMA, sub []uint64) int) int {
 	if len(keys) == 0 {
 		return 0
 	}
-	subs := s.split(keys, sorted)
+	subs, _ := s.split(keys, sorted)
 	var total atomic.Int64
 	parallel.For(len(subs), 1, func(p int) {
 		sub := subs[p]
@@ -163,6 +472,10 @@ func (s *Sharded) batch(keys []uint64, sorted bool, apply func(set *cpma.CPMA, s
 			return
 		}
 		c := &s.cells[p]
+		c.enqBatches.Add(1)
+		c.enqKeys.Add(uint64(len(sub)))
+		c.appBatches.Add(1)
+		c.appKeys.Add(uint64(len(sub)))
 		c.mu.Lock()
 		n := apply(c.set, sub)
 		c.mu.Unlock()
@@ -171,9 +484,18 @@ func (s *Sharded) batch(keys []uint64, sorted bool, apply func(set *cpma.CPMA, s
 	return int(total.Load())
 }
 
+// readBarrier flushes every shard when FlushReads is set; the multi-shard
+// read paths call it before touching any shard.
+func (s *Sharded) readBarrier() {
+	if s.opt.FlushReads {
+		s.flushSpan(0, len(s.cells)-1)
+	}
+}
+
 // Len returns the number of keys stored, summed shard by shard (not a
 // global snapshot under concurrent writes).
 func (s *Sharded) Len() int {
+	s.readBarrier()
 	total := 0
 	for i := range s.cells {
 		c := &s.cells[i]
@@ -186,6 +508,7 @@ func (s *Sharded) Len() int {
 
 // SizeBytes returns the summed memory footprint of the shards.
 func (s *Sharded) SizeBytes() uint64 {
+	s.readBarrier()
 	return parallel.ReduceSum(len(s.cells), 1, func(p int) uint64 {
 		c := &s.cells[p]
 		c.mu.RLock()
@@ -197,6 +520,7 @@ func (s *Sharded) SizeBytes() uint64 {
 
 // Sum returns the sum (mod 2^64) of all keys, shards processed in parallel.
 func (s *Sharded) Sum() uint64 {
+	s.readBarrier()
 	return parallel.ReduceSum(len(s.cells), 1, func(p int) uint64 {
 		c := &s.cells[p]
 		c.mu.RLock()
@@ -214,6 +538,9 @@ func (s *Sharded) RangeSum(start, end uint64) (sum uint64, count int) {
 		return 0, 0
 	}
 	lo, hi := s.shardSpan(start, end)
+	if s.opt.FlushReads {
+		s.flushSpan(lo, hi)
+	}
 	var su atomic.Uint64
 	var cnt atomic.Int64
 	parallel.For(hi-lo+1, 1, func(i int) {
@@ -230,7 +557,11 @@ func (s *Sharded) RangeSum(start, end uint64) (sum uint64, count int) {
 // Next returns the smallest key >= x across all shards.
 func (s *Sharded) Next(x uint64) (uint64, bool) {
 	if s.opt.Partition == RangePartition {
-		for p := s.shardOf(x); p < len(s.cells); p++ {
+		lo := s.shardOf(x)
+		if s.opt.FlushReads {
+			s.flushSpan(lo, len(s.cells)-1)
+		}
+		for p := lo; p < len(s.cells); p++ {
 			c := &s.cells[p]
 			c.mu.RLock()
 			v, ok := c.set.Next(x)
@@ -241,6 +572,7 @@ func (s *Sharded) Next(x uint64) (uint64, bool) {
 		}
 		return 0, false
 	}
+	s.readBarrier()
 	var best uint64
 	found := false
 	for p := range s.cells {
@@ -262,6 +594,7 @@ func (s *Sharded) Min() (uint64, bool) {
 
 // Max returns the largest key in the set.
 func (s *Sharded) Max() (uint64, bool) {
+	s.readBarrier()
 	var best uint64
 	found := false
 	for p := len(s.cells) - 1; p >= 0; p-- {
@@ -295,6 +628,9 @@ func (s *Sharded) MapRange(start, end uint64, f func(uint64) bool) bool {
 	}
 	if s.opt.Partition == RangePartition {
 		lo, hi := s.shardSpan(start, end)
+		if s.opt.FlushReads {
+			s.flushSpan(lo, hi)
+		}
 		for p := lo; p <= hi; p++ {
 			c := &s.cells[p]
 			c.mu.RLock()
@@ -306,6 +642,7 @@ func (s *Sharded) MapRange(start, end uint64, f func(uint64) bool) bool {
 		}
 		return true
 	}
+	s.readBarrier()
 	for _, v := range s.gatherMerge(start, end) {
 		if !f(v) {
 			return false
@@ -319,6 +656,7 @@ func (s *Sharded) MapRange(start, end uint64, f func(uint64) bool) bool {
 // contract as MapRange applies: under RangePartition f runs under shard
 // read locks and must not call back into this Sharded.
 func (s *Sharded) Map(f func(uint64) bool) bool {
+	s.readBarrier()
 	if s.opt.Partition == RangePartition {
 		for p := range s.cells {
 			c := &s.cells[p]
@@ -344,9 +682,12 @@ func (s *Sharded) Map(f func(uint64) bool) bool {
 	return true
 }
 
-// Keys returns all keys in ascending order; primarily for tests.
+// Keys returns all keys in ascending order; primarily for tests. The
+// gather runs under Map's single read barrier (sizing the result via Len
+// would pay a second FlushReads flush for a hint that concurrent
+// enqueuers could stale anyway).
 func (s *Sharded) Keys() []uint64 {
-	out := make([]uint64, 0, s.Len())
+	var out []uint64
 	s.Map(func(v uint64) bool {
 		out = append(out, v)
 		return true
@@ -402,9 +743,11 @@ func mergeLists(lists [][]uint64) []uint64 {
 	return lists[0]
 }
 
-// Validate checks every shard's CPMA invariants (a test helper); callers
-// must quiesce writers first.
+// Validate checks every shard's CPMA invariants (a test helper). On an
+// async set it flushes first; callers must still quiesce their own
+// writers.
 func (s *Sharded) Validate() error {
+	s.Flush()
 	for p := range s.cells {
 		c := &s.cells[p]
 		c.mu.RLock()

@@ -9,20 +9,23 @@ import (
 
 func configs() map[string]*Options {
 	return map[string]*Options{
-		"hash-1":   {Partition: HashPartition},
-		"hash-4":   {Partition: HashPartition},
-		"hash-7":   {Partition: HashPartition},
-		"range-4":  {Partition: RangePartition, KeyBits: workload.UniformBits},
-		"range-5":  {Partition: RangePartition, KeyBits: 64},
-		"range-64": {Partition: RangePartition, KeyBits: 16},
+		"hash-1":        {Partition: HashPartition},
+		"hash-4":        {Partition: HashPartition},
+		"hash-7":        {Partition: HashPartition},
+		"range-4":       {Partition: RangePartition, KeyBits: workload.UniformBits},
+		"range-5":       {Partition: RangePartition, KeyBits: 64},
+		"range-64":      {Partition: RangePartition, KeyBits: 16},
+		"async-hash-1":  {Partition: HashPartition, Async: true, MailboxDepth: 2},
+		"async-hash-4":  {Partition: HashPartition, Async: true, MailboxDepth: 4},
+		"async-range-4": {Partition: RangePartition, KeyBits: workload.UniformBits, Async: true, MailboxDepth: 4, FlushReads: true},
 	}
 }
 
 func shardCount(name string) int {
 	switch name {
-	case "hash-1":
+	case "hash-1", "async-hash-1":
 		return 1
-	case "hash-4", "range-4":
+	case "hash-4", "range-4", "async-hash-4", "async-range-4":
 		return 4
 	case "hash-7":
 		return 7
@@ -33,10 +36,19 @@ func shardCount(name string) int {
 	}
 }
 
+// newTestSet builds a Sharded for one named config and stops its writer
+// goroutines (async configs) when the test finishes.
+func newTestSet(t *testing.T, name string, opt *Options) *Sharded {
+	t.Helper()
+	s := New(shardCount(name), opt)
+	t.Cleanup(s.Close)
+	return s
+}
+
 func TestPointOps(t *testing.T) {
 	for name, opt := range configs() {
 		t.Run(name, func(t *testing.T) {
-			s := New(shardCount(name), opt)
+			s := newTestSet(t, name, opt)
 			keys := []uint64{5, 1, 9, 1 << 15, 77, 1<<15 + 1, 3}
 			for _, k := range keys {
 				if !s.Insert(k) {
@@ -82,7 +94,7 @@ func TestPointOps(t *testing.T) {
 func TestBatchAgainstSingleCPMA(t *testing.T) {
 	for name, opt := range configs() {
 		t.Run(name, func(t *testing.T) {
-			s := New(shardCount(name), opt)
+			s := newTestSet(t, name, opt)
 			ref := cpma.New(nil)
 			r := workload.NewRNG(7)
 			for round := 0; round < 6; round++ {
@@ -124,7 +136,7 @@ func TestBatchAgainstSingleCPMA(t *testing.T) {
 func TestSortedBatchSplit(t *testing.T) {
 	for name, opt := range configs() {
 		t.Run(name, func(t *testing.T) {
-			s := New(shardCount(name), opt)
+			s := newTestSet(t, name, opt)
 			keys := make([]uint64, 0, 10000)
 			for k := uint64(1); k <= 10000; k++ {
 				keys = append(keys, k*3)
@@ -151,7 +163,7 @@ func TestSortedBatchSplit(t *testing.T) {
 func TestMapRange(t *testing.T) {
 	for name, opt := range configs() {
 		t.Run(name, func(t *testing.T) {
-			s := New(shardCount(name), opt)
+			s := newTestSet(t, name, opt)
 			ref := cpma.New(nil)
 			r := workload.NewRNG(11)
 			keys := workload.Uniform(r, 20000, 16)
@@ -228,4 +240,143 @@ func TestZeroShardClamp(t *testing.T) {
 	if !s.Has(9) {
 		t.Fatal("single-shard set lost key")
 	}
+}
+
+// TestAsyncFlushVisibility: Flush is the read barrier — everything
+// enqueued before it is visible afterwards, and the caller's batch slice
+// may be reused immediately after an async enqueue returns.
+func TestAsyncFlushVisibility(t *testing.T) {
+	for _, part := range []Partition{HashPartition, RangePartition} {
+		s := New(3, &Options{Partition: part, KeyBits: 18, Async: true, MailboxDepth: 4})
+		defer s.Close()
+		ref := cpma.New(nil)
+		r := workload.NewRNG(21)
+		buf := make([]uint64, 800)
+		for round := 0; round < 20; round++ {
+			keys := workload.Uniform(r, len(buf), 18)
+			copy(buf, keys)
+			ref.InsertBatch(keys, false)
+			s.InsertBatchAsync(buf, false)
+			for i := range buf { // enqueue must not alias the caller's slice
+				buf[i] = 0
+			}
+			if round%4 == 3 {
+				del := workload.Uniform(r, 300, 18)
+				s.RemoveBatchAsync(del, false)
+				ref.RemoveBatch(del, false)
+			}
+		}
+		s.Flush()
+		if s.Len() != ref.Len() || s.Sum() != ref.Sum() {
+			t.Fatalf("partition %v: after Flush Len/Sum = %d/%d, want %d/%d",
+				part, s.Len(), s.Sum(), ref.Len(), ref.Sum())
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCloseDrainsAndRejects: Close without a prior Flush still applies
+// every enqueued batch, is idempotent, keeps reads working, and makes
+// further mutations panic.
+func TestCloseDrainsAndRejects(t *testing.T) {
+	s := New(3, &Options{Async: true, MailboxDepth: 2})
+	keys := workload.Uniform(workload.NewRNG(5), 20000, 18)
+	ref := cpma.New(nil)
+	ref.InsertBatch(keys, false)
+	for lo := 0; lo < len(keys); lo += 500 {
+		s.InsertBatchAsync(keys[lo:lo+500], false)
+	}
+	s.Close()
+	if s.Len() != ref.Len() || s.Sum() != ref.Sum() {
+		t.Fatalf("Close did not drain: Len/Sum = %d/%d, want %d/%d", s.Len(), s.Sum(), ref.Len(), ref.Sum())
+	}
+	s.Close() // idempotent
+	s.Flush() // no-op after Close
+	if !s.Has(keys[0]) {
+		t.Fatal("reads must keep working on a closed set")
+	}
+	for name, op := range map[string]func(){
+		"InsertBatch":       func() { s.InsertBatch([]uint64{1}, true) },
+		"InsertBatch empty": func() { s.InsertBatch(nil, true) },
+		"RemoveBatch":       func() { s.RemoveBatch([]uint64{1}, true) },
+		"InsertBatchAsync":  func() { s.InsertBatchAsync([]uint64{1}, true) },
+		"Insert":            func() { s.Insert(1) },
+	} {
+		if !panics(op) {
+			t.Fatalf("%s after Close did not panic", name)
+		}
+	}
+}
+
+// TestIngestStatsCoalesce pins the writers behind their shard locks while
+// sub-batches pile up in the mailboxes, making coalescing deterministic:
+// releasing the locks must drain each mailbox in at most two applies.
+func TestIngestStatsCoalesce(t *testing.T) {
+	const batches, batchLen = 16, 100
+	s := New(2, &Options{Async: true, MailboxDepth: 2 * batches})
+	defer s.Close()
+	r := workload.NewRNG(9)
+	for p := range s.cells {
+		s.cells[p].mu.Lock()
+	}
+	for i := 0; i < batches; i++ {
+		s.InsertBatchAsync(workload.Uniform(r, batchLen, 20), false)
+	}
+	for p := range s.cells {
+		s.cells[p].mu.Unlock()
+	}
+	s.Flush()
+	st := s.IngestStats()
+	if st.EnqueuedKeys != uint64(batches*batchLen) || st.EnqueuedKeys != st.AppliedKeys {
+		t.Fatalf("key accounting off: %+v", st)
+	}
+	// Per shard: at most one pre-pile apply (the op grabbed before the
+	// lock stalled the writer) plus one coalesced drain of the rest.
+	if max := uint64(2 * s.Shards()); st.AppliedBatches > max {
+		t.Fatalf("coalescing failed: %d applies for %d sub-batches (max %d): %+v",
+			st.AppliedBatches, st.EnqueuedBatches, max, st)
+	}
+	if st.MeanAppliedBatch() <= st.MeanEnqueuedBatch() {
+		t.Fatalf("mean applied %.1f not above mean enqueued %.1f",
+			st.MeanAppliedBatch(), st.MeanEnqueuedBatch())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroKeyRejected: the reserved key 0 fails fast at the API boundary,
+// in the caller's goroutine, in both modes.
+func TestZeroKeyRejected(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		s := New(2, &Options{Async: async})
+		defer s.Close()
+		if s.Has(0) {
+			t.Fatal("Has(0) must be false")
+		}
+		for name, op := range map[string]func(){
+			"Insert":               func() { s.Insert(0) },
+			"Remove":               func() { s.Remove(0) },
+			"InsertBatch unsorted": func() { s.InsertBatch([]uint64{3, 0, 5}, false) },
+			"InsertBatch sorted":   func() { s.InsertBatch([]uint64{0, 3}, true) },
+			"RemoveBatch unsorted": func() { s.RemoveBatch([]uint64{3, 0}, false) },
+			"InsertBatchAsync":     func() { s.InsertBatchAsync([]uint64{0}, true) },
+			"RemoveBatchAsync":     func() { s.RemoveBatchAsync([]uint64{5, 0}, false) },
+		} {
+			if !panics(op) {
+				t.Fatalf("async=%v: %s accepted key 0", async, name)
+			}
+		}
+		if s.Len() != 0 {
+			t.Fatalf("async=%v: rejected ops mutated the set", async)
+		}
+	}
+}
+
+func panics(f func()) (did bool) {
+	defer func() { did = recover() != nil }()
+	f()
+	return false
 }

@@ -32,6 +32,17 @@
 // shard at a possibly different instant — per-shard consistency, no global
 // snapshot; quiesce writers when an atomic multi-shard view is required.
 //
+// NewAsyncShardedSet (or ShardedSetOptions{Async: true}) upgrades the
+// ShardedSet to a fully asynchronous ingest pipeline: each shard owns a
+// bounded mailbox drained by a dedicated writer goroutine that coalesces
+// adjacent pending batches into one large merged apply, recovering the
+// batch-size amortization of Figure 1 under many small concurrent
+// batches. InsertBatchAsync/RemoveBatchAsync enqueue and return
+// immediately (a full mailbox applies backpressure), Flush is the read
+// barrier, and Close drains and stops the writers. See the
+// repro/internal/shard package documentation for the precise consistency
+// contract.
+//
 // Quick start:
 //
 //	s := repro.NewSet(nil)
@@ -69,19 +80,35 @@ type ShardedSet = shard.Sharded
 
 // ShardedSetOptions configures a ShardedSet beyond NewShardedSet's
 // defaults: the partitioning policy (hash or contiguous key ranges), the
-// expected key width for range partitioning, and per-shard Set options.
+// expected key width for range partitioning, per-shard Set options, and
+// the asynchronous ingest pipeline (Async, MailboxDepth, CoalesceMax,
+// FlushReads).
 type ShardedSetOptions = shard.Options
+
+// ShardIngestStats reports a ShardedSet's batch traffic: sub-batches
+// enqueued by clients versus merged applies executed by the shard
+// writers; the ratio of the two mean batch sizes is the coalescing win.
+type ShardIngestStats = shard.IngestStats
 
 // NewShardedSet returns a concurrently usable set of `shards`
 // hash-partitioned Sets; opts configures each shard's Set and may be nil
 // for the paper's defaults. Use NewShardedSetWith to select range
-// partitioning instead.
+// partitioning or the async pipeline.
 func NewShardedSet(shards int, opts *SetOptions) *ShardedSet {
 	return shard.New(shards, &shard.Options{Set: opts})
 }
 
+// NewAsyncShardedSet returns a ShardedSet running the asynchronous ingest
+// pipeline with default mailbox tuning: InsertBatchAsync/RemoveBatchAsync
+// enqueue without waiting, per-shard writers coalesce pending batches,
+// Flush establishes the read barrier, and Close must be called to stop
+// the writers. opts configures each shard's Set and may be nil.
+func NewAsyncShardedSet(shards int, opts *SetOptions) *ShardedSet {
+	return shard.New(shards, &shard.Options{Set: opts, Async: true})
+}
+
 // NewShardedSetWith returns a ShardedSet with full control over
-// partitioning; opts may be nil.
+// partitioning and the async pipeline; opts may be nil.
 func NewShardedSetWith(shards int, opts *ShardedSetOptions) *ShardedSet {
 	return shard.New(shards, opts)
 }

@@ -82,6 +82,33 @@ func TestFGraphEndToEnd(t *testing.T) {
 	}
 }
 
+func TestAsyncShardedSet(t *testing.T) {
+	s := repro.NewAsyncShardedSet(4, nil)
+	defer s.Close()
+	r := repro.NewRNG(3)
+	ref := repro.NewSet(nil)
+	for i := 0; i < 30; i++ {
+		batch := repro.UniformKeys(r, 2_000, 24)
+		s.InsertBatchAsync(batch, false)
+		ref.InsertBatch(batch, false)
+	}
+	s.Flush() // read barrier: everything enqueued above is now visible
+	if s.Len() != ref.Len() || s.Sum() != ref.Sum() {
+		t.Fatalf("after Flush: Len/Sum = %d/%d, want %d/%d", s.Len(), s.Sum(), ref.Len(), ref.Sum())
+	}
+	// Synchronous batches on an async set keep exact counts.
+	if n := s.InsertBatch([]uint64{10, 20, 30}, true); n < 0 || n > 3 {
+		t.Fatalf("sync InsertBatch on async set returned %d", n)
+	}
+	if !s.Has(10) || !s.Has(20) || !s.Has(30) {
+		t.Fatal("sync insert on async set not visible on return")
+	}
+	st := s.IngestStats()
+	if st.EnqueuedBatches == 0 || st.AppliedKeys != st.EnqueuedKeys {
+		t.Fatalf("ingest stats inconsistent after Flush: %+v", st)
+	}
+}
+
 func TestSortedConstructors(t *testing.T) {
 	keys := []uint64{2, 4, 6}
 	s := repro.SetFromSorted(keys, nil)
