@@ -20,7 +20,11 @@
 // It then sweeps the asynchronous mailbox pipeline over clients × mailbox
 // depth (-depths), comparing fire-and-forget ingest (with a final Flush)
 // against the blocking front-end and reporting the achieved coalesced
-// batch size.
+// batch size. Finally it sweeps snapshot-scan-while-ingesting (-scanners):
+// concurrent full-set scans through Flush barriers versus lock-free
+// Snapshot captures of the writer-published frozen handles, reporting
+// scan and ingest throughput under each discipline plus the
+// copy-on-publish cost (publishes, clone MB).
 package main
 
 import (
@@ -49,6 +53,7 @@ func main() {
 	partition := flag.String("partition", "hash", "shards experiment key routing: hash|range")
 	depths := flag.String("depths", "1,8,64", "mailbox depths for the async ingest sweep")
 	asyncBatch := flag.Int("asyncbatch", 500, "keys per client batch in the async ingest sweep")
+	scanners := flag.String("scanners", "1,4", "scanner counts for the snapshot-scan sweep")
 	flag.Parse()
 
 	part, err := parsePartition(*partition)
@@ -59,6 +64,11 @@ func main() {
 	depthList, err := parseInts(*depths)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -depths: %v\n", err)
+		os.Exit(2)
+	}
+	scannerList, err := parseInts(*scanners)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -scanners: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -203,6 +213,20 @@ func main() {
 				stats.Ratio(r.MeanApplied, r.MeanSubBatch))
 		}
 		at.Write(out)
+		fmt.Fprintln(out)
+
+		srows := experiments.ShardSnapshotScan(cfg, *shards, *clients, scannerList, *asyncBatch, part)
+		fmt.Fprintf(out, "Snapshot scans while ingesting (%s partition): %d shards, %d clients, flush-barrier vs lock-free snapshot scans\n",
+			*partition, *shards, *clients)
+		st := stats.NewTable("scanners", "flush scans/s", "ingest TP", "snap scans/s", "ingest TP", "snap/flush", "publishes", "clone MB")
+		for _, r := range srows {
+			st.Row(r.Scanners,
+				stats.Sci(r.FlushScans), stats.Sci(r.FlushIngestTP),
+				stats.Sci(r.SnapScans), stats.Sci(r.SnapIngestTP),
+				stats.Ratio(r.SnapScans, r.FlushScans),
+				r.Publishes, fmt.Sprintf("%.1f", r.CloneMB))
+		}
+		st.Write(out)
 		fmt.Fprintln(out)
 	}
 	if all || run["growfactor"] {

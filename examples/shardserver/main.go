@@ -4,10 +4,15 @@
 // concurrently mutating clients onto P single-writer shards, each fed by
 // a bounded mailbox whose writer goroutine coalesces adjacent batches
 // into one large merged apply. Writers here fire-and-forget their
-// batches (InsertBatchAsync/RemoveBatchAsync) while readers issue point
-// lookups and range sums against the applied state; a Flush barrier then
-// separates the ingest phase from the query phase, so the summary
-// queries observe every enqueued update.
+// batches (InsertBatchAsync/RemoveBatchAsync) while point readers issue
+// lookups against the applied state and analytics readers run whole-set
+// scans off Snapshot captures — frozen epoch cuts the shard writers
+// publish after every state-changing drain — so the query phase runs
+// concurrently with ingest instead of behind a flush barrier, never
+// blocks the writers, and never observes a shard mid-apply: every scan
+// sees each shard at a batch boundary of its mailbox (a frontier cut;
+// a multi-shard client batch may still be partially visible across
+// shards until every mailbox has drained it).
 package main
 
 import (
@@ -23,7 +28,8 @@ import (
 func main() {
 	shards := flag.Int("shards", 8, "number of CPMA shards")
 	writers := flag.Int("writers", 4, "concurrent writer clients")
-	readers := flag.Int("readers", 4, "concurrent reader clients")
+	readers := flag.Int("readers", 4, "concurrent point-lookup clients")
+	analysts := flag.Int("analysts", 2, "concurrent snapshot-scan clients")
 	batches := flag.Int("batches", 50, "batches per writer")
 	batchSize := flag.Int("batch", 10_000, "keys per batch")
 	depth := flag.Int("depth", 0, "mailbox depth per shard (0 = default)")
@@ -59,9 +65,9 @@ func main() {
 		}(w)
 	}
 
-	// Readers: point lookups and short range sums against the applied
-	// state (read-through) until the writers are done enqueueing.
-	var lookups, rangeSums atomic.Int64
+	// Point readers: lookups against the applied state (read-through)
+	// until the writers are done enqueueing.
+	var lookups atomic.Int64
 	var done atomic.Bool
 	var readerWG sync.WaitGroup
 	for g := 0; g < *readers; g++ {
@@ -69,44 +75,64 @@ func main() {
 		go func(g int) {
 			defer readerWG.Done()
 			r := repro.NewRNG(uint64(1000 + g))
-			for ops := 0; !done.Load(); ops++ {
-				if ops%5 == 4 {
-					lo := r.Uint64() % (1 << 40)
-					s.RangeSum(lo, lo+1<<20)
-					rangeSums.Add(1)
-				} else {
-					s.Has(1 + r.Uint64()%(1<<40))
-					lookups.Add(1)
-				}
+			for !done.Load() {
+				s.Has(1 + r.Uint64()%(1<<40))
+				lookups.Add(1)
+			}
+		}(g)
+	}
+
+	// Analysts: the query phase, running concurrently with ingest. Each
+	// analyst captures a frozen Snapshot (a lock-free handle grab off the
+	// writer-published epoch cuts) and scans it — whole-set Len plus a
+	// range sum — with no flush barrier and no shard locks, so scans
+	// neither wait for the mailboxes to drain nor stall the writers.
+	var scans, scannedKeys atomic.Int64
+	for g := 0; g < *analysts; g++ {
+		readerWG.Add(1)
+		go func(g int) {
+			defer readerWG.Done()
+			r := repro.NewRNG(uint64(2000 + g))
+			for !done.Load() {
+				snap := s.Snapshot()
+				lo := r.Uint64() % (1 << 40)
+				_, cnt := snap.RangeSum(lo, lo+1<<34)
+				scannedKeys.Add(int64(snap.Len()) + int64(cnt))
+				scans.Add(1)
 			}
 		}(g)
 	}
 
 	writerWG.Wait()
 	enqueueDone := time.Since(start)
-	// Flush-before-query: the barrier after which every enqueued update is
-	// applied and the query phase sees the final state.
+	// The final summary still wants everything enqueued: one Flush, then a
+	// last Snapshot that is guaranteed to cover it (read-your-flushes).
 	s.Flush()
 	elapsed := time.Since(start)
 	done.Store(true)
 	readerWG.Wait()
+	final := s.Snapshot()
 
 	updates := enqueued.Load() + retracted.Load()
 	st := s.IngestStats()
-	fmt.Printf("%d shards (mailbox pipeline), %d writers, %d readers, %.2fs (+%.0fms flush)\n",
-		*shards, *writers, *readers, elapsed.Seconds(), (elapsed-enqueueDone).Seconds()*1000)
-	fmt.Printf("enqueued %d inserts and %d removes (%.2e updates/s) alongside %d lookups and %d range sums\n",
-		enqueued.Load(), retracted.Load(), float64(updates)/elapsed.Seconds(), lookups.Load(), rangeSums.Load())
+	sst := s.SnapshotStats()
+	fmt.Printf("%d shards (mailbox pipeline), %d writers, %d readers, %d analysts, %.2fs (+%.0fms flush)\n",
+		*shards, *writers, *readers, *analysts, elapsed.Seconds(), (elapsed-enqueueDone).Seconds()*1000)
+	fmt.Printf("enqueued %d inserts and %d removes (%.2e updates/s) alongside %d lookups\n",
+		enqueued.Load(), retracted.Load(), float64(updates)/elapsed.Seconds(), lookups.Load())
 	fmt.Printf("coalescing: %d sub-batches (mean %.0f keys) applied as %d merges (mean %.0f keys, %.1fx)\n",
 		st.EnqueuedBatches, st.MeanEnqueuedBatch(), st.AppliedBatches, st.MeanAppliedBatch(),
 		st.MeanAppliedBatch()/st.MeanEnqueuedBatch())
+	fmt.Printf("snapshots: %d scans over %d captures during ingest (%.2e keys scanned), %d epochs published as %d clones (%.1f MB)\n",
+		scans.Load(), sst.Captures, float64(scannedKeys.Load()), sst.Epochs, sst.Publishes,
+		float64(sst.CloneBytes)/(1<<20))
 	fmt.Printf("final set: %d keys in %.1f MB (%.2f bytes/key)\n",
-		s.Len(), float64(s.SizeBytes())/(1<<20), float64(s.SizeBytes())/float64(s.Len()))
+		final.Len(), float64(final.SizeBytes())/(1<<20), float64(final.SizeBytes())/float64(final.Len()))
 
-	// The merged view stays globally ordered across shards.
-	if lo, ok := s.Min(); ok {
-		hi, _ := s.Max()
-		_, cnt := s.RangeSum(lo, lo+(hi-lo)/1000)
+	// The frozen view stays globally ordered across shards.
+	if lo, ok := final.Min(); ok {
+		hi, _ := final.Max()
+		_, cnt := final.RangeSum(lo, lo+(hi-lo)/1000)
 		fmt.Printf("keys span [%d, %d]; first 0.1%% of the span holds %d keys\n", lo, hi, cnt)
 	}
 }

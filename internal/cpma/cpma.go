@@ -94,6 +94,33 @@ func New(opts *Options) *CPMA {
 	return c
 }
 
+// Clone returns a deep copy that shares no mutable state with c: the
+// original may keep mutating (or be mutated) while the clone serves reads,
+// and the clone is itself a fully functional CPMA that can be mutated and
+// validated independently. The cost is a memcpy of the data array plus the
+// per-leaf metadata — no re-encoding — which is what makes copy-on-publish
+// snapshots cheap: the pointer-free contiguous layout (the paper's central
+// design choice) means the whole structure is three flat slices. The
+// implicit pmatree is immutable and shared.
+func (c *CPMA) Clone() *CPMA {
+	d := *c
+	d.data = append([]byte(nil), c.data...)
+	d.used = append([]int32(nil), c.used...)
+	d.ecnt = append([]int32(nil), c.ecnt...)
+	if c.overflow != nil {
+		// At rest overflow entries are nil (CheckInvariants enforces it), so
+		// this copies only the spine; entries are cloned defensively in case
+		// a caller clones mid-batch.
+		d.overflow = make([][]uint64, len(c.overflow))
+		for i, ov := range c.overflow {
+			if ov != nil {
+				d.overflow[i] = append([]uint64(nil), ov...)
+			}
+		}
+	}
+	return &d
+}
+
 // FromSorted builds a CPMA from sorted, duplicate-free, nonzero keys.
 func FromSorted(keys []uint64, opts *Options) *CPMA {
 	c := New(opts)

@@ -506,3 +506,105 @@ func TestZipfianBatchesRegression(t *testing.T) {
 		t.Fatalf("Len %d, want %d", c.Len(), len(ref))
 	}
 }
+
+// cloneEqual asserts that two CPMAs hold identical contents and that both
+// pass the strict leaf invariants.
+func cloneEqual(t *testing.T, a, b *CPMA) {
+	t.Helper()
+	if a.Len() != b.Len() || a.Sum() != b.Sum() {
+		t.Fatalf("Len/Sum diverge: %d/%d vs %d/%d", a.Len(), a.Sum(), b.Len(), b.Sum())
+	}
+	if !slices.Equal(a.Keys(), b.Keys()) {
+		t.Fatal("Keys diverge")
+	}
+	for _, c := range []*CPMA{a, b} {
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCloneEquality(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for _, n := range []int{0, 1, 100, 20000} {
+		c := New(&Options{LeafBytes: 256, PointThreshold: 10})
+		keys := uniqueRandom(r, n, 1<<30)
+		c.InsertBatch(keys, false)
+		d := c.Clone()
+		cloneEqual(t, c, d)
+		slices.Sort(keys)
+		if !slices.Equal(d.Keys(), keys) {
+			t.Fatalf("n=%d: clone contents wrong", n)
+		}
+	}
+}
+
+// TestCloneIsolation: mutating the original — including through growth and
+// shrink rebuilds that replace every internal array — must never change a
+// previously taken clone, and mutating the clone must never change the
+// original.
+func TestCloneIsolation(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	c := New(&Options{LeafBytes: 256, PointThreshold: 10})
+	c.InsertBatch(uniqueRandom(r, 5000, 1<<28), false)
+	frozen := c.Clone()
+	want := frozen.Keys()
+
+	// Growth rebuilds: quadruple the original's contents.
+	c.InsertBatch(uniqueRandom(r, 15000, 1<<28), false)
+	if !slices.Equal(frozen.Keys(), want) {
+		t.Fatal("growth rebuild of the original leaked into the clone")
+	}
+	if err := frozen.Validate(); err != nil {
+		t.Fatalf("clone after original growth: %v", err)
+	}
+
+	// Shrink rebuilds: remove almost everything from the original.
+	all := c.Keys()
+	c.RemoveBatch(all[:len(all)-10], true)
+	if !slices.Equal(frozen.Keys(), want) {
+		t.Fatal("shrink rebuild of the original leaked into the clone")
+	}
+
+	// The clone is itself a live CPMA: mutate it through its own growth and
+	// shrink rebuilds, then check the (tiny) original never noticed.
+	origKeys := c.Keys()
+	frozen.InsertBatch(uniqueRandom(r, 20000, 1<<28), false)
+	if err := frozen.Validate(); err != nil {
+		t.Fatalf("clone after its own growth: %v", err)
+	}
+	fk := frozen.Keys()
+	frozen.RemoveBatch(fk[:len(fk)-20], true)
+	if err := frozen.Validate(); err != nil {
+		t.Fatalf("clone after its own shrink: %v", err)
+	}
+	if !slices.Equal(c.Keys(), origKeys) {
+		t.Fatal("mutating the clone leaked into the original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneChain: clones of clones stay independent (each publication epoch
+// in the sharded snapshot pipeline clones the same live set repeatedly).
+func TestCloneChain(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	c := New(&Options{LeafBytes: 256, PointThreshold: 10})
+	var snaps []*CPMA
+	var wants [][]uint64
+	for round := 0; round < 8; round++ {
+		c.InsertBatch(uniqueRandom(r, 2000, 1<<26), false)
+		c.RemoveBatch(uniqueRandom(r, 500, 1<<26), false)
+		snaps = append(snaps, c.Clone())
+		wants = append(wants, c.Keys())
+	}
+	for i, sn := range snaps {
+		if !slices.Equal(sn.Keys(), wants[i]) {
+			t.Fatalf("snapshot %d drifted", i)
+		}
+		if err := sn.Validate(); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package cpma_test
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"testing"
 
@@ -32,6 +33,47 @@ type sut interface {
 
 // validator is implemented by the CPMA-backed systems.
 type validator interface{ Validate() error }
+
+// snapshotter is implemented by the sharded systems: Snapshot captures a
+// frozen epoch cut and Flush makes it cover everything previously enqueued
+// (the read-your-flushes guarantee).
+type snapshotter interface {
+	Flush()
+	Snapshot() *shard.Snapshot
+}
+
+// auditSnapshot cross-checks a frozen Snapshot against the model: after a
+// Flush the capture must hold exactly the model's contents, its aggregate
+// reads must be mutually consistent, and — since the snapshot is immutable
+// — it must still hold those contents after the walk mutates the live set.
+// Returns the snapshot and its expected contents for a later re-check.
+func auditSnapshot(t *testing.T, tag string, sp snapshotter, m *model) (*shard.Snapshot, []uint64) {
+	t.Helper()
+	sp.Flush()
+	snap := sp.Snapshot()
+	if got, want := snap.Len(), len(m.keys); got != want {
+		t.Fatalf("%s: snapshot Len = %d, model says %d", tag, got, want)
+	}
+	got := snap.Keys()
+	want := append([]uint64(nil), m.keys...)
+	if len(got) != len(want) {
+		t.Fatalf("%s: snapshot Keys length %d, model says %d", tag, len(got), len(want))
+	}
+	var sum uint64
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: snapshot Keys[%d] = %d, model says %d", tag, i, got[i], want[i])
+		}
+		sum += got[i]
+	}
+	if snap.Sum() != sum {
+		t.Fatalf("%s: snapshot Sum inconsistent with its own Keys", tag)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("%s: snapshot invariants: %v", tag, err)
+	}
+	return snap, want
+}
 
 // model is the sorted-slice reference.
 type model struct{ keys []uint64 }
@@ -215,6 +257,8 @@ func TestDifferential(t *testing.T) {
 					m := &model{}
 					s := mk()
 					closeSut(t, s)
+					var frozen *shard.Snapshot
+					var frozenWant []uint64
 					for i := 0; i < steps; i++ {
 						desc := step(t, r, bits, m, s)
 						if got, want := s.Len(), len(m.keys); got != want {
@@ -233,6 +277,14 @@ func TestDifferential(t *testing.T) {
 								if got[j] != want[j] {
 									t.Fatalf("step %d (%s): Keys[%d] = %d, model says %d", i, desc, j, got[j], want[j])
 								}
+							}
+							if sp, ok := s.(snapshotter); ok {
+								// The snapshot taken 50 steps ago must be
+								// untouched by everything the walk did since.
+								if frozen != nil && !slices.Equal(frozen.Keys(), frozenWant) {
+									t.Fatalf("step %d (%s): an earlier snapshot drifted under later mutations", i, desc)
+								}
+								frozen, frozenWant = auditSnapshot(t, fmt.Sprintf("step %d (%s)", i, desc), sp, m)
 							}
 						}
 					}
@@ -295,6 +347,7 @@ func TestDifferentialAsync(t *testing.T) {
 					if err := s.Validate(); err != nil {
 						t.Fatalf("round %d: %v", round, err)
 					}
+					auditSnapshot(t, fmt.Sprintf("round %d", round), s, m)
 				}
 			}
 		})
@@ -328,6 +381,9 @@ func TestDifferentialFromSorted(t *testing.T) {
 				if got[j] != want[j] {
 					t.Fatalf("Keys[%d] = %d, model says %d", j, got[j], want[j])
 				}
+			}
+			if sp, ok := s.(snapshotter); ok {
+				auditSnapshot(t, "final", sp, m)
 			}
 		})
 	}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cpma"
 	"repro/internal/parallel"
@@ -587,6 +588,122 @@ func ShardAsyncIngest(cfg MicroConfig, shards, maxClients int, depths []int, bat
 				MeanApplied:  st.MeanAppliedBatch(),
 			})
 		}
+	}
+	return rows
+}
+
+// SnapshotScanRow compares analytics scans running concurrently with async
+// ingest under two read disciplines at one scanner count: flush-barrier
+// scans (Flush, then an aggregate read holding every shard lock) versus
+// Snapshot scans (lock-free capture of the writer-published frozen
+// handles). IngestTP columns show how much each discipline steals from the
+// writers; Publishes/CloneMB expose the copy-on-publish cost the snapshots
+// pay instead.
+type SnapshotScanRow struct {
+	Scanners      int
+	FlushScans    float64 // flush-barrier scans / second
+	FlushIngestTP float64 // inserts / second while flush-barrier scans run
+	SnapScans     float64 // snapshot scans / second
+	SnapIngestTP  float64 // inserts / second while snapshot scans run
+	Publishes     uint64  // frozen handles published during the snapshot phase
+	CloneMB       float64 // megabytes cloned for those handles
+}
+
+// ShardSnapshotScan sweeps snapshot-scan-while-ingesting: `clients`
+// goroutines stream fire-and-forget batches through the async pipeline
+// while `sc` scanner goroutines run full aggregate scans (Sum) as fast as
+// they can, first through a Flush barrier against the live set, then
+// through Snapshot captures. The snapshot discipline should hold ingest
+// throughput while scanning far more often — the flush barrier serializes
+// every scan behind the mailbox drain and blocks writers for the scan's
+// whole duration.
+func ShardSnapshotScan(cfg MicroConfig, shards, clients int, scanners []int, batchSize int, part shard.Partition) []SnapshotScanRow {
+	if shards < 1 {
+		shards = 1
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	perClient := cfg.TotalK / clients
+	if perClient < 1 {
+		perClient = 1
+	}
+	total := perClient * clients
+	base := workload.Uniform(workload.NewRNG(cfg.Seed), cfg.BaseN, workload.UniformBits)
+	clientBatches := make([][][]uint64, clients)
+	for c := range clientBatches {
+		rc := workload.NewRNG(cfg.Seed + uint64(c) + 1)
+		clientBatches[c] = makeBatches(rc, perClient, batchSize, false)
+	}
+
+	// run ingests the full client workload into a fresh async set while
+	// `sc` scanners execute scan() in a loop; it returns the ingest
+	// duration, scan count, and the phase's snapshot-counter delta.
+	run := func(sc int, scan func(s *shard.Sharded)) (d time.Duration, scans int64, st shard.SnapshotStats) {
+		opt := shardOptions(part)
+		opt.Async = true
+		s := shard.New(shards, opt)
+		s.InsertBatch(base, false)
+		before := s.SnapshotStats()
+		var done atomic.Bool
+		var nscans atomic.Int64
+		var swg sync.WaitGroup
+		for g := 0; g < sc; g++ {
+			swg.Add(1)
+			go func() {
+				defer swg.Done()
+				for !done.Load() {
+					scan(s)
+					nscans.Add(1)
+				}
+			}()
+		}
+		d = stats.Time(func() {
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for _, b := range clientBatches[c] {
+						s.InsertBatchAsync(b, false)
+					}
+				}(c)
+			}
+			wg.Wait()
+			s.Flush()
+		})
+		done.Store(true)
+		swg.Wait()
+		st = s.SnapshotStats().Sub(before)
+		scans = nscans.Load()
+		s.Close()
+		return d, scans, st
+	}
+
+	var rows []SnapshotScanRow
+	for _, sc := range scanners {
+		if sc < 1 {
+			sc = 1
+		}
+		fd, fscans, _ := run(sc, func(s *shard.Sharded) {
+			s.Flush()
+			s.Sum()
+		})
+		sd, sscans, st := run(sc, func(s *shard.Sharded) {
+			s.Snapshot().Sum()
+		})
+		rows = append(rows, SnapshotScanRow{
+			Scanners:      sc,
+			FlushScans:    stats.Throughput(int(fscans), fd),
+			FlushIngestTP: stats.Throughput(total, fd),
+			SnapScans:     stats.Throughput(int(sscans), sd),
+			SnapIngestTP:  stats.Throughput(total, sd),
+			Publishes:     st.Publishes,
+			CloneMB:       float64(st.CloneBytes) / (1 << 20),
+		})
 	}
 	return rows
 }

@@ -180,6 +180,11 @@ func (s *Sharded) writer(p int) {
 			}
 		}
 		s.applyPending(c, &ws)
+		// Copy-on-publish: one frozen handle per state-changing drain, so
+		// snapshot captures never wait on (or block) the apply path. The
+		// final drain before exit publishes too, so a Snapshot taken after
+		// Close sees the fully drained state.
+		s.publish(c)
 		ws.release()
 		if closed {
 			return
@@ -198,6 +203,10 @@ func (s *Sharded) applyPending(c *cell, ws *writerScratch) {
 		op := pending[i]
 		switch {
 		case op.kind == opFlush:
+			// Publish before completing the token: once a Flush returns,
+			// the published handles must include everything it covered
+			// (the snapshot read-your-flushes guarantee).
+			s.publish(c)
 			op.tk.complete(0)
 			i++
 		case op.tk != nil:
@@ -222,8 +231,10 @@ func (s *Sharded) applyPending(c *cell, ws *writerScratch) {
 	}
 }
 
-// applyOne applies one sorted batch to the shard under its lock and
-// records it in the ingest counters.
+// applyOne applies one sorted batch to the shard under its lock, records
+// it in the ingest counters, and advances the shard's snapshot epoch when
+// the apply changed state (all-duplicate or all-absent batches leave the
+// state — and therefore the published snapshot — untouched).
 func applyOne(c *cell, kind opKind, keys []uint64) int {
 	if len(keys) == 0 {
 		return 0
@@ -236,6 +247,9 @@ func applyOne(c *cell, kind opKind, keys []uint64) int {
 		n = c.set.InsertBatch(keys, true)
 	} else {
 		n = c.set.RemoveBatch(keys, true)
+	}
+	if n > 0 {
+		c.epoch.Add(1)
 	}
 	c.mu.Unlock()
 	return n

@@ -38,30 +38,46 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
+// router routes keys to shards: the partition policy plus the scalar
+// geometry it needs. It is a small value type so snapshots can carry a
+// copy and route without retaining the live Sharded (and the memory
+// behind it) beyond the frozen handles they serve.
+type router struct {
+	part   Partition
+	width  uint64 // span per shard under RangePartition
+	shards int
+}
+
 // shardOf routes a key to its owning shard.
-func (s *Sharded) shardOf(key uint64) int {
-	if len(s.cells) == 1 {
+func (rt router) shardOf(key uint64) int {
+	if rt.shards == 1 {
 		return 0
 	}
-	if s.opt.Partition == RangePartition {
-		p := int(key / s.width)
-		if p >= len(s.cells) {
-			p = len(s.cells) - 1
+	if rt.part == RangePartition {
+		p := int(key / rt.width)
+		if p >= rt.shards {
+			p = rt.shards - 1
 		}
 		return p
 	}
 	// Multiply-shift maps the hash onto [0, shards) without a modulo.
-	hi, _ := bits.Mul64(mix64(key), uint64(len(s.cells)))
+	hi, _ := bits.Mul64(mix64(key), uint64(rt.shards))
 	return int(hi)
 }
 
 // shardSpan returns the inclusive shard interval overlapping [start, end):
 // the exact span under RangePartition, every shard under HashPartition.
-func (s *Sharded) shardSpan(start, end uint64) (lo, hi int) {
-	if s.opt.Partition == RangePartition {
-		return s.shardOf(start), s.shardOf(end - 1)
+func (rt router) shardSpan(start, end uint64) (lo, hi int) {
+	if rt.part == RangePartition {
+		return rt.shardOf(start), rt.shardOf(end - 1)
 	}
-	return 0, len(s.cells) - 1
+	return 0, rt.shards - 1
+}
+
+func (s *Sharded) shardOf(key uint64) int { return s.rt.shardOf(key) }
+
+func (s *Sharded) shardSpan(start, end uint64) (lo, hi int) {
+	return s.rt.shardSpan(start, end)
 }
 
 // split partitions a batch into per-shard sub-batches, preserving input
@@ -82,7 +98,7 @@ func (s *Sharded) split(keys []uint64, sorted bool) (subs [][]uint64, aliased bo
 		for p := 0; p < P; p++ {
 			hi := len(keys)
 			if p+1 < P {
-				bound := uint64(p+1) * s.width // first key owned by shard p+1
+				bound := uint64(p+1) * s.rt.width // first key owned by shard p+1
 				hi = lo + sort.Search(len(keys)-lo, func(i int) bool { return keys[lo+i] >= bound })
 			}
 			subs[p] = keys[lo:hi]

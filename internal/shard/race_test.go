@@ -218,3 +218,128 @@ func TestConcurrentInsertRemoveConverge(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotRace hammers Snapshot capture and scans against concurrent
+// async ingest (fire-and-forget, ticketed, and point ops), Flush, and a
+// Close racing the snapshotters. Every snapshot's reads must stay mutually
+// consistent while the set churns, a snapshot captured mid-run must keep
+// serving reads after the set is closed (snapshot outlives Close), and a
+// capture after Close must equal the fully drained state.
+func TestSnapshotRace(t *testing.T) {
+	for _, opt := range []*Options{
+		{Async: true, MailboxDepth: 4, Partition: HashPartition},
+		{Async: true, MailboxDepth: 2, Partition: RangePartition, KeyBits: 18},
+	} {
+		s := New(4, opt)
+		const writers = 3
+		var wwg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wwg.Add(1)
+			go func(w int) {
+				defer wwg.Done()
+				r := workload.NewRNG(uint64(500 + w))
+				for i := 0; i < 20; i++ {
+					s.InsertBatchAsync(workload.Uniform(r, 1000, 18), false)
+					switch i % 5 {
+					case 2:
+						s.RemoveBatchAsync(workload.Uniform(r, 500, 18), false)
+					case 4:
+						s.InsertBatch(workload.Uniform(r, 100, 18), false)
+						s.Insert(1 + r.Uint64()%(1<<18))
+					}
+				}
+			}(w)
+		}
+		var done atomic.Bool
+		var rwg sync.WaitGroup
+		var kept atomic.Pointer[Snapshot]
+		for g := 0; g < 3; g++ {
+			rwg.Add(1)
+			go func(g int) {
+				defer rwg.Done()
+				r := workload.NewRNG(uint64(600 + g))
+				for !done.Load() {
+					sn := s.Snapshot()
+					n := 0
+					sn.Map(func(uint64) bool { n++; return true })
+					if n != sn.Len() {
+						t.Errorf("snapshot scan visits %d keys, Len says %d", n, sn.Len())
+						return
+					}
+					start := r.Uint64() % (1 << 18)
+					sn.RangeSum(start, start+4096)
+					sn.Next(1 + r.Uint64()%(1<<18))
+					sn.Has(1 + r.Uint64()%(1<<18))
+					kept.Store(sn)
+				}
+			}(g)
+		}
+		rwg.Add(1)
+		go func() { // flusher: Flush must be safe against capture and Close
+			defer rwg.Done()
+			for !done.Load() {
+				s.Flush()
+			}
+		}()
+		wwg.Wait()
+		s.Close()
+		fin := s.Snapshot() // capture racing the snapshotters, after Close
+		done.Store(true)
+		rwg.Wait()
+
+		if sn := kept.Load(); sn != nil {
+			if err := sn.Validate(); err != nil {
+				t.Fatalf("kept snapshot invalid after Close: %v", err)
+			}
+			if got := len(sn.Keys()); got != sn.Len() {
+				t.Fatalf("kept snapshot inconsistent after Close: %d keys, Len %d", got, sn.Len())
+			}
+		}
+		if fin.Len() != s.Len() || fin.Sum() != s.Sum() {
+			t.Fatalf("post-Close snapshot = %d/%d, live %d/%d", fin.Len(), fin.Sum(), s.Len(), s.Sum())
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSnapshotSyncRace: sync-mode captures (which clone under all read
+// locks) racing batch writers and each other.
+func TestSnapshotSyncRace(t *testing.T) {
+	s := New(4, &Options{Partition: HashPartition})
+	s.InsertBatch(workload.Uniform(workload.NewRNG(8), 20000, 20), false)
+	var wwg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			r := workload.NewRNG(uint64(700 + w))
+			for i := 0; i < 20; i++ {
+				s.InsertBatch(workload.Uniform(r, 2000, 20), false)
+				s.RemoveBatch(workload.Uniform(r, 1000, 20), false)
+			}
+		}(w)
+	}
+	var done atomic.Bool
+	var rwg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for !done.Load() {
+				sn := s.Snapshot()
+				if got := len(sn.Keys()); got != sn.Len() {
+					t.Errorf("snapshot inconsistent: %d keys, Len %d", got, sn.Len())
+					return
+				}
+			}
+		}()
+	}
+	wwg.Wait()
+	done.Store(true)
+	rwg.Wait()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -63,11 +63,33 @@
 // cost); Len, Sum, Keys and friends then flush every shard.
 //
 // Cross-shard reads (Len, Sum, Keys, a MapRange spanning several shards,
-// ...) do NOT take a global snapshot in either mode: they observe each
-// shard at a possibly different instant. Quiesce external writers (in
-// async mode: quiesce clients, then Flush) when a multi-shard read must be
-// atomic. Iteration callbacks (Map, MapRange) may run under a shard's read
-// lock and must not call back into the same Sharded.
+// Next, Max, ...) observe one atomic cut: they hold every overlapping
+// shard's read lock simultaneously for the capture, so a concurrent writer
+// can never land between the read of shard p and shard q and the aggregate
+// view is never torn. In async read-through mode the cut covers applied
+// state; with Options.FlushReads it covers everything previously enqueued.
+// Iteration callbacks (Map, MapRange) under RangePartition run while the
+// span's read locks are held and must not call back into the same Sharded;
+// under HashPartition the range is gathered first and f runs lock-free.
+//
+// # Snapshots
+//
+// Snapshot() captures a frozen, immutable view — one epoch cut across all
+// shards — that serves the full read API off frozen CPMAs with no locks,
+// so long analytics scans run concurrently with ingest instead of blocking
+// writers (and instead of being blocked by them). In async mode each shard
+// writer publishes an immutable cpma.Clone handle after every
+// state-changing drain (copy-on-publish, amortized over coalesced
+// applies), and Snapshot grabs one published handle per shard without any
+// barrier; in sync mode the capture holds all shard read locks and clones
+// only shards that changed since their last publication. Snapshots observe
+// published state and guarantee read-your-flushes — a Snapshot captured
+// after a Flush returns includes everything that Flush covered — but not
+// read-your-writes: in async mode a blocking mutation that has returned
+// may be missing from a Snapshot captured before its drain ends (direct
+// reads like Has and Len do see it; only the snapshot publication lags).
+// A Snapshot outlives Close. See Snapshot and SnapshotStats in
+// snapshot.go.
 package shard
 
 import (
@@ -142,7 +164,13 @@ type cell struct {
 	appBatches atomic.Uint64
 	appKeys    atomic.Uint64
 
-	_ [56]byte
+	// Snapshot publication state (snapshot.go): epoch counts this shard's
+	// state-changing applies (bumped under the shard's write lock), snap is
+	// the last published frozen handle at its epoch.
+	epoch atomic.Uint64
+	snap  atomic.Pointer[shardSnap]
+
+	_ [40]byte
 }
 
 // countOne records a synchronous point op in the ingest counters (a
@@ -160,13 +188,18 @@ func (c *cell) countOne() {
 type Sharded struct {
 	cells []cell
 	opt   Options
-	width uint64 // span per shard under RangePartition
+	rt    router // key -> shard routing (copied by value into snapshots)
 
 	// Async lifecycle: enqueues hold life.RLock while sending; Close takes
 	// life.Lock to set closed, so no send can race the mailbox close.
 	life    sync.RWMutex
 	closed  bool
 	writers sync.WaitGroup
+
+	// Snapshot counters (SnapshotStats).
+	snapCaptures   atomic.Uint64
+	snapPublishes  atomic.Uint64
+	snapCloneBytes atomic.Uint64
 }
 
 // New returns a Sharded set with the given number of shards (clamped to at
@@ -189,9 +222,12 @@ func New(shards int, opts *Options) *Sharded {
 		o.CoalesceMax = DefaultCoalesceMax
 	}
 	s := &Sharded{cells: make([]cell, shards), opt: o}
-	s.width = spanWidth(o.KeyBits, shards)
+	s.rt = router{part: o.Partition, width: spanWidth(o.KeyBits, shards), shards: shards}
 	for i := range s.cells {
 		s.cells[i].set = cpma.New(o.Set)
+		// Seed each shard's published handle at epoch 0, so a Snapshot
+		// captured before any publication still holds valid frozen sets.
+		s.cells[i].snap.Store(&shardSnap{set: s.cells[i].set.Clone()})
 	}
 	if o.Async {
 		for i := range s.cells {
@@ -247,6 +283,9 @@ func (s *Sharded) Insert(x uint64) bool {
 	c.countOne()
 	c.mu.Lock()
 	ok := c.set.Insert(x)
+	if ok {
+		c.epoch.Add(1)
+	}
 	c.mu.Unlock()
 	return ok
 }
@@ -262,6 +301,9 @@ func (s *Sharded) Remove(x uint64) bool {
 	c.countOne()
 	c.mu.Lock()
 	ok := c.set.Remove(x)
+	if ok {
+		c.epoch.Add(1)
+	}
 	c.mu.Unlock()
 	return ok
 }
@@ -478,6 +520,9 @@ func (s *Sharded) batch(keys []uint64, sorted bool, apply func(set *cpma.CPMA, s
 		c.appKeys.Add(uint64(len(sub)))
 		c.mu.Lock()
 		n := apply(c.set, sub)
+		if n > 0 {
+			c.epoch.Add(1)
+		}
 		c.mu.Unlock()
 		total.Add(int64(n))
 	})
@@ -492,47 +537,36 @@ func (s *Sharded) readBarrier() {
 	}
 }
 
-// Len returns the number of keys stored, summed shard by shard (not a
-// global snapshot under concurrent writes).
+// Len returns the number of keys stored, captured as one atomic cut (all
+// shard read locks held at once).
 func (s *Sharded) Len() int {
 	s.readBarrier()
 	total := 0
-	for i := range s.cells {
-		c := &s.cells[i]
-		c.mu.RLock()
-		total += c.set.Len()
-		c.mu.RUnlock()
-	}
+	s.withCut(0, len(s.cells)-1, func(v cut) { total = v.length() })
 	return total
 }
 
 // SizeBytes returns the summed memory footprint of the shards.
 func (s *Sharded) SizeBytes() uint64 {
 	s.readBarrier()
-	return parallel.ReduceSum(len(s.cells), 1, func(p int) uint64 {
-		c := &s.cells[p]
-		c.mu.RLock()
-		v := c.set.SizeBytes()
-		c.mu.RUnlock()
-		return v
-	})
+	var total uint64
+	s.withCut(0, len(s.cells)-1, func(v cut) { total = v.sizeBytes() })
+	return total
 }
 
-// Sum returns the sum (mod 2^64) of all keys, shards processed in parallel.
+// Sum returns the sum (mod 2^64) of all keys over one atomic cut, shards
+// processed in parallel.
 func (s *Sharded) Sum() uint64 {
 	s.readBarrier()
-	return parallel.ReduceSum(len(s.cells), 1, func(p int) uint64 {
-		c := &s.cells[p]
-		c.mu.RLock()
-		v := c.set.Sum()
-		c.mu.RUnlock()
-		return v
-	})
+	var total uint64
+	s.withCut(0, len(s.cells)-1, func(v cut) { total = v.sum() })
+	return total
 }
 
-// RangeSum sums keys in [start, end). Under RangePartition only the
-// overlapping shards are read; under HashPartition every shard is, in
-// parallel (order is irrelevant for a sum).
+// RangeSum sums keys in [start, end) over one atomic cut of the
+// overlapping shards. Under RangePartition only the span's shards are
+// locked and read; under HashPartition every shard is, in parallel (order
+// is irrelevant for a sum).
 func (s *Sharded) RangeSum(start, end uint64) (sum uint64, count int) {
 	if start >= end {
 		return 0, 0
@@ -541,49 +575,24 @@ func (s *Sharded) RangeSum(start, end uint64) (sum uint64, count int) {
 	if s.opt.FlushReads {
 		s.flushSpan(lo, hi)
 	}
-	var su atomic.Uint64
-	var cnt atomic.Int64
-	parallel.For(hi-lo+1, 1, func(i int) {
-		c := &s.cells[lo+i]
-		c.mu.RLock()
-		v, k := c.set.RangeSum(start, end)
-		c.mu.RUnlock()
-		su.Add(v)
-		cnt.Add(int64(k))
-	})
-	return su.Load(), int(cnt.Load())
+	s.withCut(lo, hi, func(v cut) { sum, count = v.rangeSum(start, end) })
+	return sum, count
 }
 
-// Next returns the smallest key >= x across all shards.
+// Next returns the smallest key >= x across all shards, read off one
+// atomic cut — the merge cannot skip a key that a concurrent writer moved
+// into view mid-read, which per-shard re-querying could.
 func (s *Sharded) Next(x uint64) (uint64, bool) {
+	lo := 0
 	if s.opt.Partition == RangePartition {
-		lo := s.shardOf(x)
-		if s.opt.FlushReads {
-			s.flushSpan(lo, len(s.cells)-1)
-		}
-		for p := lo; p < len(s.cells); p++ {
-			c := &s.cells[p]
-			c.mu.RLock()
-			v, ok := c.set.Next(x)
-			c.mu.RUnlock()
-			if ok {
-				return v, true
-			}
-		}
-		return 0, false
+		lo = s.shardOf(x)
 	}
-	s.readBarrier()
+	if s.opt.FlushReads {
+		s.flushSpan(lo, len(s.cells)-1)
+	}
 	var best uint64
-	found := false
-	for p := range s.cells {
-		c := &s.cells[p]
-		c.mu.RLock()
-		v, ok := c.set.Next(x)
-		c.mu.RUnlock()
-		if ok && (!found || v < best) {
-			best, found = v, true
-		}
-	}
+	var found bool
+	s.withCut(lo, len(s.cells)-1, func(v cut) { best, found = v.next(x) })
 	return best, found
 }
 
@@ -592,36 +601,23 @@ func (s *Sharded) Min() (uint64, bool) {
 	return s.Next(1)
 }
 
-// Max returns the largest key in the set.
+// Max returns the largest key in the set, read off one atomic cut.
 func (s *Sharded) Max() (uint64, bool) {
 	s.readBarrier()
 	var best uint64
-	found := false
-	for p := len(s.cells) - 1; p >= 0; p-- {
-		c := &s.cells[p]
-		c.mu.RLock()
-		v, ok := c.set.Max()
-		c.mu.RUnlock()
-		if ok {
-			if s.opt.Partition == RangePartition {
-				return v, true
-			}
-			if !found || v > best {
-				best, found = v, true
-			}
-		}
-	}
+	var found bool
+	s.withCut(0, len(s.cells)-1, func(v cut) { best, found = v.max() })
 	return best, found
 }
 
-// MapRange applies f to keys in [start, end) in ascending order, stopping
-// early when f returns false; reports whether the scan completed. Under
-// RangePartition the overlapping shards stream in key order one at a time,
-// with f running under the current shard's read lock — f must not call back
-// into this Sharded, or it can deadlock against a waiting writer. Under
-// HashPartition the whole range is first gathered from every shard in
-// parallel and merged (so early exits still pay the full gather) and f runs
-// lock-free.
+// MapRange applies f to keys in [start, end) in ascending order over one
+// atomic cut of the overlapping shards, stopping early when f returns
+// false; reports whether the scan completed. Under RangePartition the
+// span's shards stream in key order with all of the span's read locks held
+// and f running under them — f must not call back into this Sharded, or it
+// can deadlock against a waiting writer. Under HashPartition the whole
+// range is gathered from every shard in parallel under the cut and merged
+// (so early exits still pay the full gather), and f runs lock-free.
 func (s *Sharded) MapRange(start, end uint64, f func(uint64) bool) bool {
 	if start >= end {
 		return true
@@ -631,61 +627,47 @@ func (s *Sharded) MapRange(start, end uint64, f func(uint64) bool) bool {
 		if s.opt.FlushReads {
 			s.flushSpan(lo, hi)
 		}
-		for p := lo; p <= hi; p++ {
-			c := &s.cells[p]
-			c.mu.RLock()
-			done := c.set.MapRange(start, end, f)
-			c.mu.RUnlock()
-			if !done {
-				return false
-			}
-		}
-		return true
+		done := true
+		s.withCut(lo, hi, func(v cut) { done = v.streamRange(start, end, f) })
+		return done
 	}
 	s.readBarrier()
-	for _, v := range s.gatherMerge(start, end) {
-		if !f(v) {
+	var gathered []uint64
+	s.withCut(0, len(s.cells)-1, func(v cut) { gathered = v.gatherRange(start, end) })
+	for _, x := range gathered {
+		if !f(x) {
 			return false
 		}
 	}
 	return true
 }
 
-// Map applies f to every key in ascending order, stopping early when f
-// returns false; reports whether the scan completed. The same locking
-// contract as MapRange applies: under RangePartition f runs under shard
-// read locks and must not call back into this Sharded.
+// Map applies f to every key in ascending order over one atomic cut,
+// stopping early when f returns false; reports whether the scan completed.
+// The same locking contract as MapRange applies: under RangePartition f
+// runs under the shard read locks and must not call back into this
+// Sharded; under HashPartition f runs lock-free after the gather.
 func (s *Sharded) Map(f func(uint64) bool) bool {
 	s.readBarrier()
 	if s.opt.Partition == RangePartition {
-		for p := range s.cells {
-			c := &s.cells[p]
-			c.mu.RLock()
-			done := c.set.Map(f)
-			c.mu.RUnlock()
-			if !done {
-				return false
-			}
-		}
-		return true
+		done := true
+		s.withCut(0, len(s.cells)-1, func(v cut) { done = v.streamAll(f) })
+		return done
 	}
-	for _, v := range s.gatherMerge(1, ^uint64(0)) {
-		if !f(v) {
+	var gathered []uint64
+	s.withCut(0, len(s.cells)-1, func(v cut) { gathered = v.gatherAll() })
+	for _, x := range gathered {
+		if !f(x) {
 			return false
 		}
-	}
-	// gatherMerge's half-open range cannot express the maximum key.
-	top := ^uint64(0)
-	if s.Has(top) && !f(top) {
-		return false
 	}
 	return true
 }
 
 // Keys returns all keys in ascending order; primarily for tests. The
-// gather runs under Map's single read barrier (sizing the result via Len
-// would pay a second FlushReads flush for a hint that concurrent
-// enqueuers could stale anyway).
+// gather runs under Map's single read barrier and cut (sizing the result
+// via Len would pay a second capture for a hint that concurrent enqueuers
+// could stale anyway).
 func (s *Sharded) Keys() []uint64 {
 	var out []uint64
 	s.Map(func(v uint64) bool {
@@ -693,25 +675,6 @@ func (s *Sharded) Keys() []uint64 {
 		return true
 	})
 	return out
-}
-
-// gatherMerge collects each shard's slice of [start, end) under its read
-// lock (shards in parallel) and merges the per-shard sorted runs. Shards
-// hold disjoint keys, so a plain merge suffices.
-func (s *Sharded) gatherMerge(start, end uint64) []uint64 {
-	lists := make([][]uint64, len(s.cells))
-	parallel.For(len(s.cells), 1, func(p int) {
-		c := &s.cells[p]
-		c.mu.RLock()
-		var keys []uint64
-		c.set.MapRange(start, end, func(v uint64) bool {
-			keys = append(keys, v)
-			return true
-		})
-		c.mu.RUnlock()
-		lists[p] = keys
-	})
-	return mergeLists(lists)
 }
 
 // mergeLists merges disjoint sorted runs pairwise (log P rounds of the

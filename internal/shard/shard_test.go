@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"slices"
 	"testing"
 
 	"repro/internal/cpma"
@@ -379,4 +380,294 @@ func panics(f func()) (did bool) {
 	defer func() { did = recover() != nil }()
 	f()
 	return false
+}
+
+// --- Snapshot tests ---
+
+// smallSet shrinks shard CPMAs so snapshot walks cross many leaf rebuilds.
+var smallSet = &cpma.Options{LeafBytes: 256, PointThreshold: 10}
+
+// TestSnapshotPrefixCutDifferential is the snapshot-consistency
+// differential harness: a writer streams a scripted history of
+// fire-and-forget insert/remove batches through the async pipeline while
+// the main goroutine repeatedly captures Snapshots. Every capture must be
+// a valid cut — each shard's frozen contents must equal that shard's state
+// after some prefix of the applied history (shard mailboxes are FIFO and
+// writers publish only at batch boundaries) — with per-shard prefixes and
+// epochs advancing monotonically across captures, for both hash and range
+// partitions. Each subtest verifies 600+ randomized capture interleavings
+// (1200+ total), which the CI race job runs under -race with -count=2.
+func TestSnapshotPrefixCutDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  *Options
+	}{
+		{"hash", &Options{Partition: HashPartition, Set: smallSet, Async: true, MailboxDepth: 4}},
+		{"range", &Options{Partition: RangePartition, KeyBits: 16, Set: smallSet, Async: true, MailboxDepth: 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const P = 3
+			const rounds = 120
+			const minCaptures = 600
+			s := New(P, tc.opt)
+			t.Cleanup(s.Close)
+			r := workload.NewRNG(77)
+
+			// Script the batch history up front and precompute, per shard,
+			// the expected contents after every prefix of it.
+			type histBatch struct {
+				remove bool
+				keys   []uint64
+			}
+			hist := make([]histBatch, rounds)
+			states := make([][][]uint64, P) // states[p][j]: shard p after j batches
+			shardModel := make([]map[uint64]bool, P)
+			for p := 0; p < P; p++ {
+				shardModel[p] = map[uint64]bool{}
+				states[p] = make([][]uint64, rounds+1)
+				states[p][0] = []uint64{}
+			}
+			sortedOf := func(m map[uint64]bool) []uint64 {
+				out := make([]uint64, 0, len(m))
+				for k := range m {
+					out = append(out, k)
+				}
+				slices.Sort(out)
+				return out
+			}
+			for j := range hist {
+				remove := j%4 == 3
+				keys := workload.Uniform(r, 1+r.Intn(250), 16)
+				hist[j] = histBatch{remove: remove, keys: keys}
+				for _, k := range keys {
+					if remove {
+						delete(shardModel[s.shardOf(k)], k)
+					} else {
+						shardModel[s.shardOf(k)][k] = true
+					}
+				}
+				for p := 0; p < P; p++ {
+					states[p][j+1] = sortedOf(shardModel[p])
+				}
+			}
+
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for _, b := range hist {
+					if b.remove {
+						s.RemoveBatchAsync(b.keys, false)
+					} else {
+						s.InsertBatchAsync(b.keys, false)
+					}
+				}
+				s.Flush()
+			}()
+
+			cur := make([]int, P)        // last matched prefix per shard
+			lastEpochs := make([]uint64, P)
+			captures := 0
+			writerDone := false
+			for !writerDone || captures < minCaptures {
+				select {
+				case <-done:
+					writerDone = true
+				default:
+				}
+				sn := s.Snapshot()
+				for p := 0; p < P; p++ {
+					if sn.epochs[p] < lastEpochs[p] {
+						t.Fatalf("capture %d shard %d: epoch went backwards (%d < %d)",
+							captures, p, sn.epochs[p], lastEpochs[p])
+					}
+					lastEpochs[p] = sn.epochs[p]
+					got := sn.v.sets[p].Keys()
+					j := cur[p]
+					for j <= rounds && !slices.Equal(got, states[p][j]) {
+						j++
+					}
+					if j > rounds {
+						t.Fatalf("capture %d shard %d: %d keys match no prefix of the applied history (last matched prefix %d)",
+							captures, p, len(got), cur[p])
+					}
+					cur[p] = j
+				}
+				// Reads within one snapshot must be mutually consistent.
+				if captures%64 == 0 {
+					keys := sn.Keys()
+					if len(keys) != sn.Len() {
+						t.Fatalf("capture %d: Keys yields %d, Len says %d", captures, len(keys), sn.Len())
+					}
+					var sum uint64
+					for _, k := range keys {
+						sum += k
+					}
+					if sum != sn.Sum() {
+						t.Fatalf("capture %d: Sum inconsistent with Keys", captures)
+					}
+				}
+				captures++
+			}
+
+			// After the final Flush, a fresh snapshot sits at the full history.
+			sn := s.Snapshot()
+			for p := 0; p < P; p++ {
+				if !slices.Equal(sn.v.sets[p].Keys(), states[p][rounds]) {
+					t.Fatalf("post-flush snapshot shard %d does not hold the full history", p)
+				}
+			}
+			if err := sn.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if captures < minCaptures {
+				t.Fatalf("only %d captures", captures)
+			}
+		})
+	}
+}
+
+// TestSnapshotReadAPI checks every Snapshot read against the live set on a
+// quiesced Sharded for all configs, then checks snapshot isolation: later
+// mutations of the live set must not be visible through the old snapshot.
+func TestSnapshotReadAPI(t *testing.T) {
+	for name, opt := range configs() {
+		t.Run(name, func(t *testing.T) {
+			s := newTestSet(t, name, opt)
+			r := workload.NewRNG(13)
+			s.InsertBatch(workload.Uniform(r, 20000, 16), false)
+			s.RemoveBatch(workload.Uniform(r, 5000, 16), false)
+			s.Flush()
+			sn := s.Snapshot()
+
+			if sn.Shards() != s.Shards() {
+				t.Fatalf("Shards = %d, want %d", sn.Shards(), s.Shards())
+			}
+			if sn.Len() != s.Len() || sn.Sum() != s.Sum() {
+				t.Fatalf("Len/Sum = %d/%d, live %d/%d", sn.Len(), sn.Sum(), s.Len(), s.Sum())
+			}
+			if sn.SizeBytes() == 0 {
+				t.Fatal("SizeBytes = 0")
+			}
+			keys := sn.Keys()
+			if !slices.Equal(keys, s.Keys()) {
+				t.Fatal("Keys diverge from live set")
+			}
+			if v, ok := sn.Min(); !ok || v != keys[0] {
+				t.Fatalf("Min = %d,%v want %d", v, ok, keys[0])
+			}
+			if v, ok := sn.Max(); !ok || v != keys[len(keys)-1] {
+				t.Fatalf("Max = %d,%v want %d", v, ok, keys[len(keys)-1])
+			}
+			for trial := 0; trial < 50; trial++ {
+				k := 1 + r.Uint64()%(1<<16)
+				if sn.Has(k) != s.Has(k) {
+					t.Fatalf("Has(%d) diverges", k)
+				}
+				gv, gok := sn.Next(k)
+				wv, wok := s.Next(k)
+				if gv != wv || gok != wok {
+					t.Fatalf("Next(%d) = %d,%v want %d,%v", k, gv, gok, wv, wok)
+				}
+				start := r.Uint64() % (1 << 16)
+				end := start + r.Uint64()%(1<<14)
+				gs, gc := sn.RangeSum(start, end)
+				ws, wc := s.RangeSum(start, end)
+				if gs != ws || gc != wc {
+					t.Fatalf("RangeSum[%d,%d) diverges", start, end)
+				}
+			}
+			if sn.Has(0) {
+				t.Fatal("Has(0) must be false")
+			}
+			visited := 0
+			if sn.MapRange(1, ^uint64(0), func(uint64) bool { visited++; return visited < 10 }) {
+				t.Fatal("MapRange reported complete despite early stop")
+			}
+			if visited != 10 {
+				t.Fatalf("early stop visited %d", visited)
+			}
+			if err := sn.Validate(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Isolation: mutations after the capture stay invisible.
+			s.InsertBatch(workload.Uniform(r, 10000, 16), false)
+			s.Remove(keys[0])
+			s.Flush()
+			if !slices.Equal(sn.Keys(), keys) {
+				t.Fatal("snapshot observed mutations applied after its capture")
+			}
+			if !sn.Has(keys[0]) {
+				t.Fatal("snapshot lost a key removed from the live set after capture")
+			}
+		})
+	}
+}
+
+// TestSnapshotSyncCaptureCaching: in sync mode an unchanged shard's handle
+// is reused across captures (no re-clone), and a point write re-clones
+// exactly the one shard it touched.
+func TestSnapshotSyncCaptureCaching(t *testing.T) {
+	s := New(4, &Options{Partition: HashPartition})
+	s.InsertBatch(workload.Uniform(workload.NewRNG(3), 10000, 20), false)
+	sn1 := s.Snapshot()
+	st1 := s.SnapshotStats()
+	sn2 := s.Snapshot()
+	st2 := s.SnapshotStats()
+	if st2.Publishes != st1.Publishes {
+		t.Fatalf("unchanged set re-published: %d -> %d", st1.Publishes, st2.Publishes)
+	}
+	if st2.Captures != st1.Captures+1 {
+		t.Fatalf("capture counter off: %+v", st2)
+	}
+	for p := range sn1.v.sets {
+		if sn1.v.sets[p] != sn2.v.sets[p] {
+			t.Fatalf("shard %d handle not shared across unchanged captures", p)
+		}
+	}
+	const k = 123456789
+	s.Insert(k)
+	sn3 := s.Snapshot()
+	st3 := s.SnapshotStats()
+	if !sn3.Has(k) {
+		t.Fatal("fresh capture missed the new key")
+	}
+	if sn2.Has(k) {
+		t.Fatal("old capture sees the new key")
+	}
+	if st3.Publishes != st2.Publishes+1 {
+		t.Fatalf("want exactly one re-clone for a one-shard write, got %d", st3.Publishes-st2.Publishes)
+	}
+	if st3.Epochs != st2.Epochs+1 {
+		t.Fatalf("epoch accounting off: %+v", st3)
+	}
+	if st3.CloneBytes <= st2.CloneBytes {
+		t.Fatal("clone bytes did not grow")
+	}
+}
+
+// TestSnapshotReadYourFlushes: a Snapshot captured after Flush returns
+// covers everything enqueued before the Flush, without FlushReads.
+func TestSnapshotReadYourFlushes(t *testing.T) {
+	s := New(3, &Options{Async: true, MailboxDepth: 4})
+	t.Cleanup(s.Close)
+	ref := cpma.New(nil)
+	r := workload.NewRNG(29)
+	for round := 0; round < 15; round++ {
+		for b := 0; b < 4; b++ {
+			keys := workload.Uniform(r, 500, 18)
+			s.InsertBatchAsync(keys, false)
+			ref.InsertBatch(keys, false)
+		}
+		s.Flush()
+		sn := s.Snapshot()
+		if sn.Len() != ref.Len() || sn.Sum() != ref.Sum() {
+			t.Fatalf("round %d: snapshot after Flush = %d/%d, want %d/%d",
+				round, sn.Len(), sn.Sum(), ref.Len(), ref.Sum())
+		}
+	}
+	st := s.SnapshotStats()
+	if st.Publishes == 0 || st.Publishes > st.Epochs {
+		t.Fatalf("publication accounting off: %+v", st)
+	}
 }

@@ -1,0 +1,458 @@
+package shard
+
+// Consistent multi-shard reads via writer-published epochs.
+//
+// The CPMA's pointer-free contiguous layout makes a whole-structure copy a
+// memcpy-class operation (cpma.Clone), which this file turns into cheap
+// snapshots the way Aspen derives functional graph snapshots and PAM-style
+// structures derive persistence: the structure's sole mutator publishes an
+// immutable handle after it mutates, and readers grab handles instead of
+// locks. Two capture paths share one read implementation (cut):
+//
+//   - Async mode: each shard's mailbox writer is already the shard's only
+//     mutator, so after every drain that changed state it stamps the shard's
+//     monotone epoch and publishes a frozen Clone through an atomic.Pointer
+//     — zero new synchronization on the apply path. Snapshot() then grabs
+//     one published handle per shard, lock-free, without stalling ingest.
+//   - Sync mode: there are no writer goroutines, so Snapshot() holds every
+//     shard's read lock simultaneously (an atomic cut — writers are blocked
+//     everywhere for the duration) and refreshes only the shards whose
+//     published handle is stale; an unchanged shard reuses its last clone.
+//
+// The live multi-shard read paths (Len, Sum, Keys, Map/MapRange, Next, Max,
+// RangeSum, SizeBytes) go through the same machinery via withCut: they hold
+// all overlapping read locks at once and run the shared cut algorithms
+// against the live sets, so even non-snapshot aggregate reads observe one
+// atomic cut instead of per-shard consistency.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/cpma"
+	"repro/internal/parallel"
+)
+
+// shardSnap is one shard's published frozen state: an immutable CPMA handle
+// stamped with the epoch (count of state-changing applies) it reflects.
+// Once published the handle is never mutated — the live set keeps mutating
+// and the next publication clones afresh.
+type shardSnap struct {
+	epoch uint64
+	set   *cpma.CPMA
+}
+
+// cut is a captured per-shard view that the multi-shard read algorithms run
+// against: at(p) is shard p's CPMA as of the capture, for p in [lo, hi]
+// (sets is span-sized and indexed relative to lo, so a narrow-span capture
+// allocates only what it covers). A cut over the live sets is valid only
+// while the overlapping read locks are held (withCut); a cut over
+// published frozen handles is valid forever (Snapshot).
+type cut struct {
+	sets   []*cpma.CPMA // sets[p-lo] is shard p's CPMA
+	rt     router
+	lo, hi int
+}
+
+func (v cut) at(p int) *cpma.CPMA { return v.sets[p-v.lo] }
+
+// withCut acquires the read locks of shards [lo, hi] in ascending order,
+// runs f against the resulting atomic cut of the live sets, and releases.
+// Holding every overlapping lock at once is what upgrades the multi-shard
+// read paths from per-shard consistency to one consistent cut: no writer
+// can land between the capture of shard p and shard q. Ascending
+// acquisition cannot deadlock against writers (which only ever hold one
+// shard lock at a time) or against other cuts.
+func (s *Sharded) withCut(lo, hi int, f func(v cut)) {
+	for p := lo; p <= hi; p++ {
+		s.cells[p].mu.RLock()
+	}
+	sets := make([]*cpma.CPMA, hi-lo+1)
+	for p := lo; p <= hi; p++ {
+		sets[p-lo] = s.cells[p].set
+	}
+	f(cut{sets: sets, rt: s.rt, lo: lo, hi: hi})
+	for p := lo; p <= hi; p++ {
+		s.cells[p].mu.RUnlock()
+	}
+}
+
+// publish refreshes c's published handle if state-changing applies landed
+// since the last publication, and returns the current handle. The caller
+// must exclude mutation of c.set for the duration: the async shard writer
+// (the shard's sole mutator) calls it between applies, and sync-mode
+// capture calls it while holding the shard's read lock. Concurrent
+// sync-mode captures may race to publish the same epoch; the CompareAndSwap
+// lets exactly one equivalent clone win (and be counted).
+func (s *Sharded) publish(c *cell) *shardSnap {
+	e := c.epoch.Load()
+	old := c.snap.Load()
+	if old != nil && old.epoch == e {
+		return old
+	}
+	sn := &shardSnap{epoch: e, set: c.set.Clone()}
+	if c.snap.CompareAndSwap(old, sn) {
+		s.snapPublishes.Add(1)
+		s.snapCloneBytes.Add(sn.set.SizeBytes())
+		return sn
+	}
+	// A concurrent sync-mode capture won the race; its clone reflects the
+	// same locked state (or a newer epoch), so hand back the winner and
+	// count nothing — Publishes stays <= Epochs.
+	if cur := c.snap.Load(); cur != nil {
+		return cur
+	}
+	return sn
+}
+
+// Snapshot is a frozen, immutable view of a Sharded set: one consistent
+// epoch cut across all shards, serving the full read API off frozen CPMAs
+// with no locks. Scans on a Snapshot never block writers and never observe
+// in-flight batches, so long analytics reads can run concurrently with
+// ingest. A Snapshot remains valid forever — including after the set is
+// Closed.
+//
+// Consistency: each shard's handle reflects a prefix of that shard's
+// applied operation sequence (its mailbox is FIFO and its writer publishes
+// only at rest points between applies), and all handles are captured at one
+// instant. In async mode the cut is a frontier — different shards may sit
+// at different prefixes of a multi-shard batch stream — while in sync mode
+// the capture holds every shard lock at once and is a pointwise atomic cut.
+// Within one Snapshot every read is mutually consistent: Len equals the
+// number of keys Map visits, Sum matches Keys, and repeated reads are
+// stable.
+//
+// A snapshot observes only published state, and publication happens at
+// drain boundaries and Flush tokens — not at ticket completion. So in
+// async mode even a blocking mutation (Insert, a ticketed InsertBatch)
+// that has returned may be missing from an immediately captured Snapshot
+// until its drain ends; the guarantee is read-your-flushes, not
+// read-your-writes: after a Flush returns, the published handles include
+// everything the Flush covered. Call Flush before Snapshot (or set
+// Options.FlushReads, which Snapshot honors) when the capture must cover
+// your own preceding mutations. Sync-mode captures never lag: they
+// publish the live state under the shard locks.
+type Snapshot struct {
+	v      cut
+	epochs []uint64
+}
+
+// Snapshot captures one epoch cut across all shards. In async mode it is a
+// lock-free handle grab — no flush barrier, no shard locks, O(shards) work
+// — and honors Options.FlushReads by flushing first. In sync mode it holds
+// all shard read locks for the capture and clones only shards that changed
+// since their last publication (repeated snapshots of an unchanged set are
+// free and share handles).
+func (s *Sharded) Snapshot() *Snapshot {
+	s.snapCaptures.Add(1)
+	P := len(s.cells)
+	snaps := make([]*shardSnap, P)
+	if s.opt.Async {
+		if s.opt.FlushReads {
+			s.Flush()
+		}
+		for p := range s.cells {
+			snaps[p] = s.cells[p].snap.Load()
+		}
+	} else {
+		for p := range s.cells {
+			s.cells[p].mu.RLock()
+		}
+		parallel.For(P, 1, func(p int) {
+			snaps[p] = s.publish(&s.cells[p])
+		})
+		for p := range s.cells {
+			s.cells[p].mu.RUnlock()
+		}
+	}
+	sn := &Snapshot{
+		v:      cut{sets: make([]*cpma.CPMA, P), rt: s.rt, lo: 0, hi: P - 1},
+		epochs: make([]uint64, P),
+	}
+	for p, sp := range snaps {
+		sn.v.sets[p] = sp.set
+		sn.epochs[p] = sp.epoch
+	}
+	return sn
+}
+
+// Shards returns the number of shards the snapshot covers.
+func (sn *Snapshot) Shards() int { return len(sn.v.sets) }
+
+// Epochs returns the per-shard epochs (state-changing applies reflected)
+// the snapshot was cut at. Epochs are monotone per shard: a later Snapshot
+// never reports a smaller epoch for any shard.
+func (sn *Snapshot) Epochs() []uint64 {
+	return append([]uint64(nil), sn.epochs...)
+}
+
+// Len returns the number of keys in the snapshot.
+func (sn *Snapshot) Len() int { return sn.v.length() }
+
+// SizeBytes returns the summed memory footprint of the frozen shards.
+func (sn *Snapshot) SizeBytes() uint64 { return sn.v.sizeBytes() }
+
+// Sum returns the sum (mod 2^64) of all keys in the snapshot.
+func (sn *Snapshot) Sum() uint64 { return sn.v.sum() }
+
+// RangeSum sums keys in [start, end).
+func (sn *Snapshot) RangeSum(start, end uint64) (sum uint64, count int) {
+	return sn.v.rangeSum(start, end)
+}
+
+// Has reports whether x is in the snapshot.
+func (sn *Snapshot) Has(x uint64) bool {
+	if x == 0 {
+		return false
+	}
+	return sn.v.sets[sn.v.rt.shardOf(x)].Has(x)
+}
+
+// Next returns the smallest key >= x in the snapshot.
+func (sn *Snapshot) Next(x uint64) (uint64, bool) { return sn.v.next(x) }
+
+// Min returns the smallest key in the snapshot.
+func (sn *Snapshot) Min() (uint64, bool) { return sn.v.next(1) }
+
+// Max returns the largest key in the snapshot.
+func (sn *Snapshot) Max() (uint64, bool) { return sn.v.max() }
+
+// MapRange applies f to keys in [start, end) in ascending order, stopping
+// early when f returns false; reports whether the scan completed. The scan
+// is lock-free; f may freely call back into the snapshot or the live set.
+func (sn *Snapshot) MapRange(start, end uint64, f func(uint64) bool) bool {
+	if start >= end {
+		return true
+	}
+	return sn.v.mapRange(start, end, f)
+}
+
+// Map applies f to every key in ascending order, stopping early when f
+// returns false; reports whether the scan completed. Lock-free.
+func (sn *Snapshot) Map(f func(uint64) bool) bool {
+	return sn.v.mapAll(f)
+}
+
+// Keys returns all keys in the snapshot in ascending order.
+func (sn *Snapshot) Keys() []uint64 {
+	var out []uint64
+	sn.Map(func(v uint64) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// Validate checks every frozen shard's CPMA invariants (a test helper).
+func (sn *Snapshot) Validate() error {
+	for p, set := range sn.v.sets {
+		if err := set.Validate(); err != nil {
+			return fmt.Errorf("snapshot shard %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// --- shared read algorithms over a cut ---
+
+func (v cut) length() int {
+	total := 0
+	for _, set := range v.sets {
+		total += set.Len()
+	}
+	return total
+}
+
+func (v cut) sizeBytes() uint64 {
+	return parallel.ReduceSum(len(v.sets), 1, func(i int) uint64 {
+		return v.sets[i].SizeBytes()
+	})
+}
+
+func (v cut) sum() uint64 {
+	return parallel.ReduceSum(len(v.sets), 1, func(i int) uint64 {
+		return v.sets[i].Sum()
+	})
+}
+
+func (v cut) rangeSum(start, end uint64) (uint64, int) {
+	if start >= end {
+		return 0, 0
+	}
+	lo, hi := v.rt.shardSpan(start, end)
+	if lo < v.lo {
+		lo = v.lo
+	}
+	if hi > v.hi {
+		hi = v.hi
+	}
+	var su atomic.Uint64
+	var cnt atomic.Int64
+	parallel.For(hi-lo+1, 1, func(i int) {
+		s, k := v.at(lo+i).RangeSum(start, end)
+		su.Add(s)
+		cnt.Add(int64(k))
+	})
+	return su.Load(), int(cnt.Load())
+}
+
+func (v cut) next(x uint64) (uint64, bool) {
+	if v.rt.part == RangePartition {
+		lo := v.rt.shardOf(x)
+		if lo < v.lo {
+			lo = v.lo
+		}
+		for p := lo; p <= v.hi; p++ {
+			if r, ok := v.at(p).Next(x); ok {
+				return r, true
+			}
+		}
+		return 0, false
+	}
+	var best uint64
+	found := false
+	for p := v.lo; p <= v.hi; p++ {
+		if r, ok := v.at(p).Next(x); ok && (!found || r < best) {
+			best, found = r, true
+		}
+	}
+	return best, found
+}
+
+func (v cut) max() (uint64, bool) {
+	var best uint64
+	found := false
+	for p := v.hi; p >= v.lo; p-- {
+		if r, ok := v.at(p).Max(); ok {
+			if v.rt.part == RangePartition {
+				return r, true
+			}
+			if !found || r > best {
+				best, found = r, true
+			}
+		}
+	}
+	return best, found
+}
+
+// mapRange is the full ordered scan dispatch for a cut whose lifetime does
+// not depend on locks (Snapshot): range partitions stream in key order, a
+// hash partition gathers the merged range and then iterates. The live
+// Sharded front-end cannot use it for the hash path — there f must run
+// after the shard locks are released — so Sharded.MapRange keeps the
+// gather-inside/iterate-outside split and shares only the pieces.
+func (v cut) mapRange(start, end uint64, f func(uint64) bool) bool {
+	if v.rt.part == RangePartition {
+		return v.streamRange(start, end, f)
+	}
+	for _, x := range v.gatherRange(start, end) {
+		if !f(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// mapAll is mapRange over the whole key space (see mapRange's caveats).
+func (v cut) mapAll(f func(uint64) bool) bool {
+	if v.rt.part == RangePartition {
+		return v.streamAll(f)
+	}
+	for _, x := range v.gatherAll() {
+		if !f(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// streamRange streams [start, end) in key order across a range-partitioned
+// cut, shard by shard, calling f inline.
+func (v cut) streamRange(start, end uint64, f func(uint64) bool) bool {
+	lo, hi := v.rt.shardSpan(start, end)
+	if lo < v.lo {
+		lo = v.lo
+	}
+	if hi > v.hi {
+		hi = v.hi
+	}
+	for p := lo; p <= hi; p++ {
+		if !v.at(p).MapRange(start, end, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// streamAll streams every key in order across a range-partitioned cut.
+func (v cut) streamAll(f func(uint64) bool) bool {
+	for _, set := range v.sets {
+		if !set.Map(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// gatherRange collects [start, end) from every shard of the cut in parallel
+// and merges the disjoint sorted runs (the hash-partition scan shape).
+func (v cut) gatherRange(start, end uint64) []uint64 {
+	lists := make([][]uint64, len(v.sets))
+	parallel.For(len(lists), 1, func(i int) {
+		var keys []uint64
+		v.sets[i].MapRange(start, end, func(x uint64) bool {
+			keys = append(keys, x)
+			return true
+		})
+		lists[i] = keys
+	})
+	return mergeLists(lists)
+}
+
+// gatherAll collects every key of the cut, including the maximum key that
+// the half-open gather range cannot express.
+func (v cut) gatherAll() []uint64 {
+	out := v.gatherRange(1, ^uint64(0))
+	top := ^uint64(0)
+	if v.at(v.rt.shardOf(top)).Has(top) {
+		out = append(out, top)
+	}
+	return out
+}
+
+// SnapshotStats counts the snapshot machinery's work: epoch advances
+// (state-changing applies across shards), publications (frozen handles
+// materialized — each one a cpma.Clone), the bytes those clones copied,
+// and Snapshot captures. Publishes <= Epochs: the gap is the publication
+// amortization (drains coalesce many applies into one clone, unchanged
+// shards republish nothing).
+type SnapshotStats struct {
+	Epochs     uint64 // state-changing applies across all shards
+	Publishes  uint64 // frozen handles published (cpma.Clone calls)
+	CloneBytes uint64 // bytes materialized across those clones
+	Captures   uint64 // Snapshot() calls
+}
+
+// Sub returns the counter deltas st - prev (for measuring one phase).
+func (st SnapshotStats) Sub(prev SnapshotStats) SnapshotStats {
+	return SnapshotStats{
+		Epochs:     st.Epochs - prev.Epochs,
+		Publishes:  st.Publishes - prev.Publishes,
+		CloneBytes: st.CloneBytes - prev.CloneBytes,
+		Captures:   st.Captures - prev.Captures,
+	}
+}
+
+// SnapshotStats returns the snapshot counters. Counters are monotone;
+// snapshot before and after a phase and Sub the two to measure it.
+func (s *Sharded) SnapshotStats() SnapshotStats {
+	st := SnapshotStats{
+		Publishes:  s.snapPublishes.Load(),
+		CloneBytes: s.snapCloneBytes.Load(),
+		Captures:   s.snapCaptures.Load(),
+	}
+	for p := range s.cells {
+		st.Epochs += s.cells[p].epoch.Load()
+	}
+	return st
+}

@@ -28,9 +28,17 @@
 // any number of readers proceed concurrently. Batches scatter into
 // per-shard sub-batches applied by one writer goroutine per shard, each of
 // which still runs the Set's parallel batch algorithm inside the shard.
-// Cross-shard reads (Len, Sum, Keys, multi-shard MapRange) observe each
-// shard at a possibly different instant — per-shard consistency, no global
-// snapshot; quiesce writers when an atomic multi-shard view is required.
+// Cross-shard reads (Len, Sum, Keys, multi-shard MapRange, Next, Max)
+// observe one atomic cut: the overlapping shard read locks are held
+// simultaneously for the capture, so a concurrent writer can never tear
+// the aggregate view. For long scans that must not block (or be blocked
+// by) writers, (*ShardedSet).Snapshot captures a ShardedSnapshot — a
+// frozen epoch cut published by the shard writers via copy-on-publish
+// Set.Clone handles — whose reads are lock-free, mutually consistent, and
+// stable, and which remains valid after Close. Snapshots observe
+// published state and are read-your-flushes (not read-your-writes):
+// capture after Flush to guarantee coverage of your own preceding
+// mutations on an async set.
 //
 // NewAsyncShardedSet (or ShardedSetOptions{Async: true}) upgrades the
 // ShardedSet to a fully asynchronous ingest pipeline: each shard owns a
@@ -89,6 +97,19 @@ type ShardedSetOptions = shard.Options
 // enqueued by clients versus merged applies executed by the shard
 // writers; the ratio of the two mean batch sizes is the coalescing win.
 type ShardIngestStats = shard.IngestStats
+
+// ShardedSnapshot is a frozen, immutable view of a ShardedSet captured by
+// its Snapshot method: one epoch cut across all shards serving the full
+// read API (Len, Sum, RangeSum, Has, Next, Min/Max, Keys, Map, MapRange)
+// off frozen Sets with no locks. Scans on a snapshot run concurrently with
+// ingest — they neither block writers nor observe in-flight batches — and
+// a snapshot keeps working after the set is Closed.
+type ShardedSnapshot = shard.Snapshot
+
+// ShardSnapshotStats reports the snapshot machinery's work: per-shard
+// epoch advances, published frozen handles (each a Set.Clone), the bytes
+// those clones copied, and Snapshot captures.
+type ShardSnapshotStats = shard.SnapshotStats
 
 // NewShardedSet returns a concurrently usable set of `shards`
 // hash-partitioned Sets; opts configures each shard's Set and may be nil

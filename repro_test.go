@@ -120,3 +120,56 @@ func TestSortedConstructors(t *testing.T) {
 		t.Fatal("Next wrong")
 	}
 }
+
+// TestShardedSnapshot exercises the snapshot API the way a downstream
+// analytics reader would: capture a frozen cut while async ingest keeps
+// running, scan it without a flush barrier, and rely on its immutability.
+func TestShardedSnapshot(t *testing.T) {
+	s := repro.NewAsyncShardedSet(4, nil)
+	defer s.Close()
+	r := repro.NewRNG(7)
+	ref := repro.NewSet(nil)
+	for i := 0; i < 10; i++ {
+		batch := repro.UniformKeys(r, 2_000, 24)
+		s.InsertBatchAsync(batch, false)
+		ref.InsertBatch(batch, false)
+	}
+	s.Flush()
+	snap := s.Snapshot()
+	if snap.Len() != ref.Len() || snap.Sum() != ref.Sum() {
+		t.Fatalf("snapshot = %d/%d, want %d/%d", snap.Len(), snap.Sum(), ref.Len(), ref.Sum())
+	}
+
+	// Keep ingesting: the old snapshot must not move while fresh captures do.
+	more := repro.UniformKeys(r, 5_000, 24)
+	wantLen, wantSum := snap.Len(), snap.Sum()
+	s.InsertBatchAsync(more, false)
+	s.Flush()
+	if snap.Len() != wantLen || snap.Sum() != wantSum {
+		t.Fatal("frozen snapshot drifted under later ingest")
+	}
+	ref.InsertBatch(more, false)
+	fresh := s.Snapshot()
+	if fresh.Len() != ref.Len() || fresh.Sum() != ref.Sum() {
+		t.Fatalf("fresh snapshot = %d/%d, want %d/%d", fresh.Len(), fresh.Sum(), ref.Len(), ref.Sum())
+	}
+
+	// Snapshot reads are mutually consistent and ordered.
+	keys := fresh.Keys()
+	if len(keys) != fresh.Len() || !slices.IsSorted(keys) {
+		t.Fatal("snapshot Keys inconsistent")
+	}
+	if v, ok := fresh.Min(); !ok || v != keys[0] {
+		t.Fatal("snapshot Min wrong")
+	}
+	st := s.SnapshotStats()
+	if st.Captures < 2 || st.Publishes == 0 {
+		t.Fatalf("snapshot stats inconsistent: %+v", st)
+	}
+
+	// The snapshot outlives Close.
+	s.Close()
+	if fresh.Len() != ref.Len() {
+		t.Fatal("snapshot stopped working after Close")
+	}
+}
