@@ -13,11 +13,19 @@
 // sees each shard at a batch boundary of its mailbox (a frontier cut;
 // a multi-shard client batch may still be partially visible across
 // shards until every mailbox has drained it).
+//
+// With -dir the server becomes durable: batches are write-ahead logged
+// per shard before applying, checkpoints are cut from the published
+// snapshot handles, and a restart with the same -dir recovers the
+// previous run's state (the boot line reports recovered keys and
+// replayed batches). Kill it mid-run and restart to watch recovery
+// truncate the torn tail.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,12 +41,34 @@ func main() {
 	batches := flag.Int("batches", 50, "batches per writer")
 	batchSize := flag.Int("batch", 10_000, "keys per batch")
 	depth := flag.Int("depth", 0, "mailbox depth per shard (0 = default)")
+	dir := flag.String("dir", "", "durable store directory: the server recovers its state from here on boot and survives restarts (empty = in-memory only)")
 	flag.Parse()
 
-	s := repro.NewShardedSetWith(*shards, &repro.ShardedSetOptions{
-		Async:        true,
-		MailboxDepth: *depth,
-	})
+	// With -dir the server is durable: every batch is write-ahead logged
+	// by the shard writers, checkpoints are cut in the background, and a
+	// restart replays whatever the last run left behind. Run it twice with
+	// the same -dir and watch the boot line pick up the previous run's
+	// keys.
+	var s *repro.ShardedSet
+	if *dir != "" {
+		var err error
+		s, err = repro.OpenDurableShardedSet(*dir, *shards, &repro.ShardedSetOptions{
+			MailboxDepth:           *depth,
+			CheckpointEveryBatches: 200,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open durable store:", err)
+			os.Exit(1)
+		}
+		boot := s.PersistStats()
+		fmt.Printf("recovered %d keys from %s (%d WAL batches replayed, %d keys, %d torn bytes dropped)\n",
+			boot.RecoveredKeys, *dir, boot.ReplayedBatches, boot.ReplayedKeys, boot.TornBytes)
+	} else {
+		s = repro.NewShardedSetWith(*shards, &repro.ShardedSetOptions{
+			Async:        true,
+			MailboxDepth: *depth,
+		})
+	}
 	defer s.Close()
 
 	// Writers: each client streams its own uniform batches into the
@@ -128,6 +158,20 @@ func main() {
 		float64(sst.CloneBytes)/(1<<20))
 	fmt.Printf("final set: %d keys in %.1f MB (%.2f bytes/key)\n",
 		final.Len(), float64(final.SizeBytes())/(1<<20), float64(final.SizeBytes())/float64(final.Len()))
+
+	// Durable runs: cut a final checkpoint so the next boot recovers from
+	// slabs instead of replaying the whole log, and show what durability
+	// cost this session.
+	if s.Durable() {
+		if err := s.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "final checkpoint:", err)
+			os.Exit(1)
+		}
+		pst := s.PersistStats()
+		fmt.Printf("durability: %d WAL batches (%.1f MB, %d fsyncs), %d checkpoints (%.1f MB slabs), %d segments truncated\n",
+			pst.AppendedBatches, float64(pst.AppendedBytes)/(1<<20), pst.Fsyncs,
+			pst.Checkpoints, float64(pst.CheckpointBytes)/(1<<20), pst.TruncatedSegments)
+	}
 
 	// The frozen view stays globally ordered across shards.
 	if lo, ok := final.Min(); ok {

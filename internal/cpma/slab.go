@@ -1,0 +1,201 @@
+package cpma
+
+// Slab serialization: the persistence payoff of the paper's central design
+// choice. A CPMA's entire state is three flat slabs — data []byte, the
+// per-leaf used/ecnt metadata, and a few geometry scalars — with no
+// pointers, so checkpointing is a straight dump of those slabs: no node
+// traversal, no pointer fixup on load, no re-encoding. (Contrast PaC-trees,
+// whose purely-functional nodes force a pointer-chasing serializer.)
+// WriteTo/ReadFrom implement that dump with a fixed little-endian header
+// and a trailing CRC32C so torn or bit-rotted files are rejected rather
+// than loaded; the implicit pmatree is arithmetic and is rebuilt from the
+// geometry on load.
+//
+// Format (version 1, all integers little-endian):
+//
+//	[ 8] magic "CPMASLB1"
+//	[ 4] version (1)
+//	[ 4] leafLog2
+//	[ 8] leaves
+//	[ 8] n (stored keys)
+//	[4L] used[leaf]  int32 x leaves
+//	[4L] ecnt[leaf]  int32 x leaves
+//	[  ] data        leaves << leafLog2 bytes
+//	[ 4] CRC32C of every preceding byte
+//
+// The overflow spine is intentionally absent: it is non-nil only mid-batch,
+// and serialization is defined on at-rest structures (Clone handles
+// published by the shard writers are always at rest).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/pmatree"
+)
+
+const (
+	slabMagic   = "CPMASLB1"
+	slabVersion = 1
+	// slabHeaderSize is the fixed prefix before the per-leaf slabs.
+	slabHeaderSize = 8 + 4 + 4 + 8 + 8
+	slabCRCSize    = 4
+
+	// Sanity bounds ReadFrom enforces before allocating anything, so a
+	// corrupted header cannot demand an absurd allocation. maxSlabLeafLog2
+	// is generous (1 MiB leaves) next to the in-memory cap of 2 KiB.
+	minSlabLeafLog2 = 4
+	maxSlabLeafLog2 = 20
+	maxSlabBytes    = 1 << 36
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodedSize returns the exact number of bytes WriteTo emits. It tracks
+// SizeBytes (the in-memory footprint the paper's get_size reports) up to
+// the fixed header and CRC: both count the data array plus the per-leaf
+// metadata, so checkpoint-size stats stay comparable with the clone-size
+// stats the snapshot machinery reports.
+func (c *CPMA) EncodedSize() uint64 {
+	return uint64(slabHeaderSize + 8*c.leaves + len(c.data) + slabCRCSize)
+}
+
+// WriteTo serializes the CPMA to w (implementing io.WriterTo) and returns
+// the bytes written, always EncodedSize on success. The receiver must be at
+// rest (no batch in flight) and must not be mutated for the duration;
+// frozen Clone handles satisfy both by construction.
+func (c *CPMA) WriteTo(w io.Writer) (int64, error) {
+	crc := crc32.New(castagnoli)
+	mw := io.MultiWriter(w, crc)
+	var written int64
+
+	hdr := make([]byte, slabHeaderSize)
+	copy(hdr, slabMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], slabVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(c.leafLog2))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(c.leaves))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(c.n))
+	n, err := mw.Write(hdr)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+
+	meta := make([]byte, 8*c.leaves)
+	for i, u := range c.used {
+		binary.LittleEndian.PutUint32(meta[4*i:], uint32(u))
+	}
+	for i, e := range c.ecnt {
+		binary.LittleEndian.PutUint32(meta[4*c.leaves+4*i:], uint32(e))
+	}
+	n, err = mw.Write(meta)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+
+	n, err = mw.Write(c.data)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+
+	var tail [slabCRCSize]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	n, err = w.Write(tail[:])
+	written += int64(n)
+	return written, err
+}
+
+// ReadFrom deserializes a CPMA written by WriteTo. opts plays the role it
+// plays in New — it configures future rebuilds (growth factor, bounds) and
+// may be nil for defaults — while the array geometry comes from the stream.
+// The stream is validated structurally (magic, version, geometry bounds,
+// metadata consistency) and end-to-end by the trailing CRC32C; any mismatch
+// returns an error and no CPMA. Callers that distrust the producer should
+// additionally run Validate on the result.
+func ReadFrom(r io.Reader, opts *Options) (*CPMA, error) {
+	crc := crc32.New(castagnoli)
+	tr := io.TeeReader(r, crc)
+
+	hdr := make([]byte, slabHeaderSize)
+	if _, err := io.ReadFull(tr, hdr); err != nil {
+		return nil, fmt.Errorf("cpma: slab header: %w", err)
+	}
+	if string(hdr[:8]) != slabMagic {
+		return nil, fmt.Errorf("cpma: bad slab magic %q", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != slabVersion {
+		return nil, fmt.Errorf("cpma: unsupported slab version %d (want %d)", v, slabVersion)
+	}
+	leafLog2 := binary.LittleEndian.Uint32(hdr[12:])
+	leaves := binary.LittleEndian.Uint64(hdr[16:])
+	count := binary.LittleEndian.Uint64(hdr[24:])
+	if leafLog2 < minSlabLeafLog2 || leafLog2 > maxSlabLeafLog2 {
+		return nil, fmt.Errorf("cpma: slab leafLog2 %d out of range", leafLog2)
+	}
+	// Compare without shifting leaves: a crafted huge leaf count must not
+	// overflow its way past the allocation bound.
+	if leaves < 1 || leaves > maxSlabBytes>>leafLog2 {
+		return nil, fmt.Errorf("cpma: slab geometry %d leaves x %d bytes out of range", leaves, 1<<leafLog2)
+	}
+	dataLen := int(leaves) << leafLog2
+	if count > uint64(dataLen) {
+		return nil, fmt.Errorf("cpma: slab claims %d keys in %d bytes", count, dataLen)
+	}
+
+	meta := make([]byte, 8*leaves)
+	if _, err := io.ReadFull(tr, meta); err != nil {
+		return nil, fmt.Errorf("cpma: slab metadata: %w", err)
+	}
+	data := make([]byte, dataLen)
+	if _, err := io.ReadFull(tr, data); err != nil {
+		return nil, fmt.Errorf("cpma: slab data: %w", err)
+	}
+	var tail [slabCRCSize]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return nil, fmt.Errorf("cpma: slab checksum: %w", err)
+	}
+	if got, want := crc.Sum32(), binary.LittleEndian.Uint32(tail[:]); got != want {
+		return nil, fmt.Errorf("cpma: slab checksum mismatch (computed %08x, stored %08x)", got, want)
+	}
+
+	leafBytes := 1 << leafLog2
+	used := make([]int32, leaves)
+	ecnt := make([]int32, leaves)
+	total := uint64(0)
+	for i := range used {
+		u := int32(binary.LittleEndian.Uint32(meta[4*i:]))
+		e := int32(binary.LittleEndian.Uint32(meta[4*int(leaves)+4*i:]))
+		if u < 0 || int(u) > leafBytes {
+			return nil, fmt.Errorf("cpma: slab leaf %d used %d out of range", i, u)
+		}
+		if e < 0 || (u == 0) != (e == 0) {
+			return nil, fmt.Errorf("cpma: slab leaf %d used %d but ecnt %d", i, u, e)
+		}
+		used[i] = u
+		ecnt[i] = e
+		total += uint64(e)
+	}
+	if total != count {
+		return nil, fmt.Errorf("cpma: slab leaves hold %d keys but header says %d", total, count)
+	}
+
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	c := &CPMA{
+		data:     data,
+		used:     used,
+		ecnt:     ecnt,
+		leafLog2: uint(leafLog2),
+		leaves:   int(leaves),
+		n:        int(count),
+		opt:      o.withDefaults(),
+	}
+	c.tree = pmatree.New(c.leaves, leafBytes, effectiveBounds(c.opt.Bounds, leafBytes))
+	return c, nil
+}

@@ -1,0 +1,171 @@
+package cpma
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"slices"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// roundTrip serializes c, asserts the byte count matches EncodedSize, and
+// deserializes it back with the same options.
+func roundTrip(t *testing.T, c *CPMA, opts *Options) *CPMA {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := c.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if uint64(n) != c.EncodedSize() {
+		t.Fatalf("WriteTo wrote %d bytes, EncodedSize says %d", n, c.EncodedSize())
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, buffer holds %d", n, buf.Len())
+	}
+	d, err := ReadFrom(&buf, opts)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	return d
+}
+
+// assertEqualSets checks that two CPMAs decode to the same keys and both
+// pass the strict validator.
+func assertEqualSets(t *testing.T, want, got *CPMA) {
+	t.Helper()
+	if err := got.Validate(); err != nil {
+		t.Fatalf("deserialized CPMA invalid: %v", err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("Len mismatch: want %d, got %d", want.Len(), got.Len())
+	}
+	if !slices.Equal(want.Keys(), got.Keys()) {
+		t.Fatal("key sets differ after round trip")
+	}
+}
+
+func TestSlabRoundTripStates(t *testing.T) {
+	r := workload.NewRNG(7)
+	for _, tc := range []struct {
+		name string
+		opts *Options
+		fill func(c *CPMA)
+	}{
+		{"empty", nil, func(c *CPMA) {}},
+		{"single-key", nil, func(c *CPMA) { c.Insert(42) }},
+		// LeafBytes == minCapacity gives exactly one leaf.
+		{"single-leaf", &Options{LeafBytes: 4 * minLeafBytes}, func(c *CPMA) {
+			c.InsertBatch([]uint64{3, 9, 1 << 30, 1 << 50}, true)
+		}},
+		// Dense sequential keys drive every leaf toward the byte-density
+		// ceiling (1-byte deltas), the max-density shape.
+		{"max-density", nil, func(c *CPMA) {
+			keys := make([]uint64, 40_000)
+			for i := range keys {
+				keys[i] = uint64(i + 1)
+			}
+			c.InsertBatch(keys, true)
+		}},
+		{"uniform-grown", nil, func(c *CPMA) {
+			c.InsertBatch(workload.Uniform(r, 60_000, 40), false)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(tc.opts)
+			tc.fill(c)
+			if err := c.Validate(); err != nil {
+				t.Fatalf("source invalid before serialization: %v", err)
+			}
+			assertEqualSets(t, c, roundTrip(t, c, tc.opts))
+		})
+	}
+}
+
+// TestSlabRoundTripAcrossRebuilds walks one CPMA through growth and shrink
+// rebuilds, round-tripping at every stage, and finally checks the
+// deserialized copy is a fully functional CPMA by mutating it onward.
+func TestSlabRoundTripAcrossRebuilds(t *testing.T) {
+	r := workload.NewRNG(11)
+	c := New(nil)
+	keys := workload.Uniform(r, 80_000, 40)
+	for i := 0; i < len(keys); i += 20_000 { // growth rebuilds
+		c.InsertBatch(keys[i:i+20_000], false)
+		assertEqualSets(t, c, roundTrip(t, c, nil))
+	}
+	c.RemoveBatch(keys[:72_000], false) // shrink rebuilds
+	d := roundTrip(t, c, nil)
+	assertEqualSets(t, c, d)
+
+	// The copy must keep working independently of the original.
+	fresh := d.InsertBatch(keys[:30_000], false)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("mutated deserialized CPMA invalid: %v", err)
+	}
+	if c.Len()+fresh != d.Len() {
+		t.Fatalf("independent mutation leaked: orig %d + %d fresh != copy %d", c.Len(), fresh, d.Len())
+	}
+}
+
+func TestSlabRejectsCorruption(t *testing.T) {
+	c := New(nil)
+	c.InsertBatch([]uint64{5, 9, 1000, 1 << 33}, true)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"bad-magic":   corrupt(func(b []byte) { b[0] = 'X' }),
+		"bad-version": corrupt(func(b []byte) { binary.LittleEndian.PutUint32(b[8:], 99) }),
+		"leaflog-out-of-range": corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[12:], 40)
+		}),
+		"zero-leaves": corrupt(func(b []byte) { binary.LittleEndian.PutUint64(b[16:], 0) }),
+		"overflowing-geometry": corrupt(func(b []byte) {
+			// leaves<<leafLog2 wraps uint64; the bound check must not.
+			binary.LittleEndian.PutUint32(b[12:], 4)
+			binary.LittleEndian.PutUint64(b[16:], 1<<60)
+		}),
+		"absurd-count": corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint64(b[24:], 1<<40)
+		}),
+		"flipped-metadata": corrupt(func(b []byte) { b[slabHeaderSize] ^= 0xff }),
+		"flipped-data":     corrupt(func(b []byte) { b[len(b)-10] ^= 0x01 }),
+		"flipped-crc":      corrupt(func(b []byte) { b[len(b)-1] ^= 0x01 }),
+		"truncated":        good[:len(good)-7],
+		"empty":            nil,
+	}
+	for name, blob := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadFrom(bytes.NewReader(blob), nil); err == nil {
+				t.Fatal("ReadFrom accepted a corrupted slab")
+			}
+		})
+	}
+
+	// A short writer must surface the error, not emit a silent prefix.
+	if _, err := c.WriteTo(&limitedWriter{limit: 10}); err == nil {
+		t.Fatal("WriteTo swallowed a short write")
+	}
+}
+
+type limitedWriter struct{ limit int }
+
+func (w *limitedWriter) Write(p []byte) (int, error) {
+	if len(p) > w.limit {
+		n := w.limit
+		w.limit = 0
+		return n, io.ErrShortWrite
+	}
+	w.limit -= len(p)
+	return len(p), nil
+}

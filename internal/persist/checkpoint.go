@@ -1,0 +1,205 @@
+package persist
+
+// Checkpoint files and the store manifest. A checkpoint wraps one shard's
+// cpma slab (cpma.WriteTo — the pointer-free raw dump) in a small header
+// naming the shard and the WAL sequence the state covers, with a
+// whole-file CRC32C trailer. Files are written to a temp name, fsynced,
+// and renamed into place, so a half-written checkpoint is never visible
+// under its real name.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cpma"
+	"repro/internal/shard"
+)
+
+const (
+	ckptMagic      = "CPMACKP1"
+	ckptVersion    = 1
+	ckptHeaderSize = 8 + 4 + 4 + 8 + 8 // magic, version, shard, seq, payload len
+	ckptCRCSize    = 4
+)
+
+func checkpointName(seq uint64) string {
+	return fmt.Sprintf("ckpt-%020d.ckpt", seq)
+}
+
+// writeCheckpoint serializes set (an immutable published handle) covering
+// WAL records up to and including seq, atomically placing it in dir.
+// Returns the slab payload size (EncodedSize — the checkpoint-bytes stat).
+func writeCheckpoint(dir string, shardID int, seq uint64, set *cpma.CPMA) (uint64, error) {
+	payloadLen := set.EncodedSize()
+	tmp := filepath.Join(dir, "ckpt.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	crc := crc32.New(castagnoli)
+	w := io.MultiWriter(bw, crc)
+
+	var hdr [ckptHeaderSize]byte
+	copy(hdr[:], ckptMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], ckptVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(shardID))
+	binary.LittleEndian.PutUint64(hdr[16:], seq)
+	binary.LittleEndian.PutUint64(hdr[24:], payloadLen)
+	fail := func(err error) (uint64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fail(err)
+	}
+	n, err := set.WriteTo(w)
+	if err != nil {
+		return fail(err)
+	}
+	if uint64(n) != payloadLen {
+		return fail(fmt.Errorf("persist: slab wrote %d bytes, EncodedSize said %d", n, payloadLen))
+	}
+	var tail [ckptCRCSize]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	if _, err := bw.Write(tail[:]); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	final := filepath.Join(dir, checkpointName(seq))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	return payloadLen, nil
+}
+
+// loadCheckpoint reads and fully verifies one checkpoint file: header
+// sanity, whole-file CRC, slab CRC (inside cpma.ReadFrom), and the strict
+// cpma validator — a checkpoint that fails any of these is reported so the
+// caller can fall back to an older one.
+func loadCheckpoint(path string, shardID int, seq uint64, opts *cpma.Options) (*cpma.CPMA, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < ckptHeaderSize+ckptCRCSize {
+		return nil, fmt.Errorf("persist: checkpoint %s truncated (%d bytes)", filepath.Base(path), len(data))
+	}
+	if string(data[:8]) != ckptMagic {
+		return nil, fmt.Errorf("persist: checkpoint %s: bad magic", filepath.Base(path))
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != ckptVersion {
+		return nil, fmt.Errorf("persist: checkpoint %s: unsupported version %d", filepath.Base(path), v)
+	}
+	if got := int(binary.LittleEndian.Uint32(data[12:])); got != shardID {
+		return nil, fmt.Errorf("persist: checkpoint %s: belongs to shard %d, not %d", filepath.Base(path), got, shardID)
+	}
+	if got := binary.LittleEndian.Uint64(data[16:]); got != seq {
+		return nil, fmt.Errorf("persist: checkpoint %s: header seq %d does not match name", filepath.Base(path), got)
+	}
+	payloadLen := binary.LittleEndian.Uint64(data[24:])
+	if payloadLen != uint64(len(data)-ckptHeaderSize-ckptCRCSize) {
+		return nil, fmt.Errorf("persist: checkpoint %s: payload length mismatch", filepath.Base(path))
+	}
+	body := data[:len(data)-ckptCRCSize]
+	want := binary.LittleEndian.Uint32(data[len(data)-ckptCRCSize:])
+	if crc32.Checksum(body, castagnoli) != want {
+		return nil, fmt.Errorf("persist: checkpoint %s: checksum mismatch", filepath.Base(path))
+	}
+	set, err := cpma.ReadFrom(bytes.NewReader(body[ckptHeaderSize:]), opts)
+	if err != nil {
+		return nil, fmt.Errorf("persist: checkpoint %s: %w", filepath.Base(path), err)
+	}
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: checkpoint %s: %w", filepath.Base(path), err)
+	}
+	return set, nil
+}
+
+// manifest records the set geometry the store was created with; reopening
+// with different geometry is an error (the log would replay into the
+// wrong shards).
+type manifest struct {
+	Version   int    `json:"version"`
+	Shards    int    `json:"shards"`
+	Partition string `json:"partition"`
+	KeyBits   int    `json:"key_bits"`
+}
+
+const manifestName = "MANIFEST"
+
+func partitionString(p shard.Partition) string {
+	if p == shard.RangePartition {
+		return "range"
+	}
+	return "hash"
+}
+
+// ensureManifest validates dir's manifest against opts, writing a fresh
+// one (atomically) if none exists yet.
+func ensureManifest(o Options) error {
+	path := filepath.Join(o.Dir, manifestName)
+	want := manifest{Version: 1, Shards: o.Shards, Partition: partitionString(o.Partition), KeyBits: o.KeyBits}
+	data, err := os.ReadFile(path)
+	if err == nil {
+		var got manifest
+		if err := json.Unmarshal(data, &got); err != nil {
+			return fmt.Errorf("persist: corrupt manifest %s: %w", path, err)
+		}
+		if got != want {
+			return fmt.Errorf("persist: store at %s holds a %d-shard %s/%d-bit set; asked to open it as %d-shard %s/%d-bit",
+				o.Dir, got.Shards, got.Partition, got.KeyBits, want.Shards, want.Partition, want.KeyBits)
+		}
+		return nil
+	}
+	if !os.IsNotExist(err) {
+		return err
+	}
+	blob, err := json.Marshal(want)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(o.Dir)
+}
+
+// syncDir fsyncs a directory so renames and removals within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

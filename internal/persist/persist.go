@@ -1,0 +1,122 @@
+// Package persist gives the sharded CPMA front-end crash durability: a
+// per-shard write-ahead batch log plus pointer-free slab checkpoints, and
+// the recovery that stitches the two back together after a crash.
+//
+// The design leans on the paper's central property. A CPMA is a compressed
+// set *without pointers* — its entire state is flat slabs — so a checkpoint
+// is a raw dump of those slabs (cpma.WriteTo) taken from an immutable
+// handle the shard writer already publishes for snapshots: no traversal,
+// no pointer fixup, no stop-the-world. The log side piggybacks on the
+// async ingest pipeline: each shard's mailbox writer is the shard's sole
+// mutator, so it appends every coalesced batch to the shard's log before
+// applying it (write-ahead), with no extra synchronization on the hot
+// path.
+//
+// # On-disk layout
+//
+//	dir/MANIFEST                     set geometry (shards, partition, ...)
+//	dir/shard-NNNN/wal-<seq20>.log   WAL segments; <seq20> is the sequence
+//	                                 number of the segment's first record
+//	dir/shard-NNNN/ckpt-<seq20>.ckpt slab checkpoints; <seq20> is the last
+//	                                 record sequence the state reflects
+//
+// Every WAL record frames one applied batch: a little-endian length and
+// CRC32C header, then kind (insert/remove), the record's per-shard
+// sequence number, and the sorted keys varint-delta encoded. Checkpoint
+// files wrap a cpma slab (itself CRC-guarded) in a header naming the
+// shard and covered sequence, with a whole-file CRC32C trailer. All
+// formats are versioned via magics; readers reject unknown versions.
+//
+// # Durability contract
+//
+// Three levels, weakest to strongest:
+//
+//   - An acknowledged mutation (a returned InsertBatch/Insert/...) has been
+//     appended to its shard's WAL, but is fsynced only per the group-commit
+//     knobs (Options.SyncEvery records / Options.SyncBytes bytes). A crash
+//     may lose the unsynced suffix.
+//   - After Flush returns, every previously enqueued mutation is applied
+//     AND its shard's WAL is fsynced: Flush is the durability barrier.
+//     SyncEvery=1 makes every record durable before its call returns.
+//   - After Checkpoint returns, every shard's state is additionally
+//     captured in a slab checkpoint and the WAL prefix it covers is
+//     truncated (recovery work becomes proportional to the log tail).
+//
+// Recovery (Open) processes each shard independently: load the newest
+// checkpoint that passes its CRC and cpma Validate — falling back to the
+// previous one, which is retained exactly for this — then replay the WAL
+// tail in sequence order, skipping records the checkpoint already covers,
+// and stop at the first torn or corrupt record, truncating the log there
+// (later segments, unreachable past the gap, are deleted). The recovered
+// state is always a per-shard prefix of the appended batch history:
+// synced batches are never lost, torn tails are cleanly dropped.
+//
+// Checkpoint truncation keeps the two newest checkpoints per shard and
+// deletes only WAL segments covered by the *older* of them, so a
+// bit-rotted newest checkpoint never strands the log tail that the
+// fallback needs.
+package persist
+
+import (
+	"fmt"
+
+	"repro/internal/cpma"
+	"repro/internal/shard"
+)
+
+// Defaults for the group-commit and checkpoint cadence knobs.
+const (
+	DefaultSyncEvery              = 32
+	DefaultSyncBytes              = 1 << 20
+	DefaultCheckpointEveryBatches = 4096
+)
+
+// Options configures a Store. The zero value of every field selects a
+// default; negative SyncEvery/SyncBytes disable that group-commit trigger
+// and a negative CheckpointEveryBatches disables the background
+// checkpointer (explicit Checkpoint calls still work).
+type Options struct {
+	// Dir roots the store's files. Required.
+	Dir string
+	// Shards is the shard count; it is fixed at creation and validated
+	// against the manifest on reopen. Required (>= 1).
+	Shards int
+	// SyncEvery fsyncs a shard's WAL after this many appended records.
+	SyncEvery int
+	// SyncBytes fsyncs a shard's WAL once this many bytes accumulate.
+	SyncBytes int
+	// CheckpointEveryBatches checkpoints a shard once this many records
+	// accumulate past its last checkpoint.
+	CheckpointEveryBatches int
+	// Set configures the recovered CPMAs (nil for the paper's defaults);
+	// it must match the options the live set runs with.
+	Set *cpma.Options
+	// Partition and KeyBits describe the key routing of the set this store
+	// backs; they are recorded in the manifest and validated on reopen,
+	// because replaying a hash-partitioned log into a range-partitioned
+	// set would scatter keys to the wrong shards.
+	Partition shard.Partition
+	KeyBits   int
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Dir == "" {
+		return o, fmt.Errorf("persist: Options.Dir is required")
+	}
+	if o.Shards < 1 {
+		return o, fmt.Errorf("persist: Options.Shards must be >= 1 (got %d)", o.Shards)
+	}
+	if o.SyncEvery == 0 {
+		o.SyncEvery = DefaultSyncEvery
+	}
+	if o.SyncBytes == 0 {
+		o.SyncBytes = DefaultSyncBytes
+	}
+	if o.CheckpointEveryBatches == 0 {
+		o.CheckpointEveryBatches = DefaultCheckpointEveryBatches
+	}
+	if o.KeyBits <= 0 || o.KeyBits > 64 {
+		o.KeyBits = 64
+	}
+	return o, nil
+}

@@ -1,0 +1,469 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"repro/internal/cpma"
+	"repro/internal/shard"
+)
+
+// Store is the durability engine behind a sharded set: one WAL appender
+// per shard plus a background checkpointer. It implements shard.Journal;
+// the per-shard methods (Append, Published, Synced) are called by the
+// shard's writer goroutine, everything else may be called from anywhere.
+type Store struct {
+	dir    string
+	opt    Options
+	shards []*storeShard
+
+	// ckptMu serializes checkpoint passes (manual Checkpoint calls versus
+	// the background checkpointer) — checkpoints are rare, coarse locking
+	// keeps the invariants simple.
+	ckptMu  sync.Mutex
+	ckptReq chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	closeOnce sync.Once
+	closedErr error
+	closed    atomic.Bool
+
+	errMu    sync.Mutex
+	firstErr error
+
+	// lockFile holds the exclusive flock on the store directory for the
+	// Store's lifetime; released by Close (or by the OS if the process
+	// dies, which is what makes flock safe across crashes).
+	lockFile *os.File
+
+	appBatches atomic.Uint64
+	appKeys    atomic.Uint64
+	appBytes   atomic.Uint64
+	fsyncs     atomic.Uint64
+	ckpts      atomic.Uint64
+	ckptBytes  atomic.Uint64
+	truncSegs  atomic.Uint64
+
+	// Recovery counters, written once by Open before any concurrency.
+	recoveredKeys   uint64
+	replayedBatches uint64
+	replayedKeys    uint64
+	tornBytes       uint64
+}
+
+// storeShard is one shard's persistence state.
+type storeShard struct {
+	id  int
+	dir string
+
+	// mu guards the appender: the active segment, sequence numbers, and
+	// the group-commit accounting. The shard writer holds it for appends;
+	// the checkpointer takes it briefly to rotate segments.
+	mu           sync.Mutex
+	seg          *segment
+	seq          atomic.Uint64 // last appended record sequence
+	pendingRecs  int           // records since last fsync
+	pendingBytes int
+	encBuf       []byte
+
+	// pub is the latest published frozen handle and the sequence it
+	// covers; the shard writer stores it, the checkpointer loads it.
+	pubMu  sync.Mutex
+	pubSet *cpma.CPMA
+	pubSeq uint64
+
+	// ckptSeq is the sequence covered by the newest durable checkpoint;
+	// prevCkptSeq the one before it (the WAL deletion floor — see the
+	// two-checkpoint retention note in the package doc).
+	ckptSeq     atomic.Uint64
+	prevCkptSeq uint64 // checkpointer only (under ckptMu)
+}
+
+func shardDirName(p int) string { return fmt.Sprintf("shard-%04d", p) }
+
+// Open opens (creating as needed) the store rooted at opts.Dir and
+// recovers every shard: newest valid checkpoint plus WAL tail replay. It
+// returns the recovered per-shard CPMAs, ready to seed shard.NewFrom; the
+// caller owns wiring the Store into the set as its Journal (or use
+// OpenSharded, which does both).
+func Open(opts Options) (*Store, []*cpma.CPMA, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	st := &Store{
+		dir:     o.Dir,
+		opt:     o,
+		shards:  make([]*storeShard, o.Shards),
+		ckptReq: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	// Exclusive directory lock: two stores appending to the same WAL
+	// files would interleave frames and destroy both logs. flock is
+	// released automatically if the process dies, so a crash never
+	// strands the store locked.
+	if err := st.acquireLock(); err != nil {
+		return nil, nil, err
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			st.releaseLock()
+		}
+	}()
+	if err := ensureManifest(o); err != nil {
+		return nil, nil, err
+	}
+	sets := make([]*cpma.CPMA, o.Shards)
+	for p := range st.shards {
+		sh := &storeShard{id: p, dir: filepath.Join(o.Dir, shardDirName(p))}
+		if err := os.MkdirAll(sh.dir, 0o755); err != nil {
+			return nil, nil, err
+		}
+		set, err := st.recoverShard(sh)
+		if err != nil {
+			return nil, nil, fmt.Errorf("persist: shard %d: %w", p, err)
+		}
+		st.shards[p] = sh
+		sets[p] = set
+		st.recoveredKeys += uint64(set.Len()) // replay included; see recoverShard
+	}
+	st.wg.Add(1)
+	go st.runCheckpointer()
+	opened = true
+	return st, sets, nil
+}
+
+// acquireLock takes a non-blocking exclusive flock on dir/LOCK.
+func (st *Store) acquireLock() error {
+	f, err := os.OpenFile(filepath.Join(st.dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: store at %s is locked by another process: %w", st.dir, err)
+	}
+	st.lockFile = f
+	return nil
+}
+
+func (st *Store) releaseLock() {
+	if st.lockFile != nil {
+		syscall.Flock(int(st.lockFile.Fd()), syscall.LOCK_UN)
+		st.lockFile.Close()
+		st.lockFile = nil
+	}
+}
+
+// OpenSharded opens (or creates) the durable store described by opts.Dir
+// and returns a running async Sharded set recovered from it, wired to the
+// store as its journal. Closing the set closes the store; sopts.Async is
+// implied (durability rides the mailbox writer goroutines).
+func OpenSharded(shards int, sopts *shard.Options) (*shard.Sharded, *Store, error) {
+	var so shard.Options
+	if sopts != nil {
+		so = *sopts
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	st, sets, err := Open(Options{
+		Dir:                    so.Dir,
+		Shards:                 shards,
+		SyncEvery:              so.SyncEvery,
+		SyncBytes:              so.SyncBytes,
+		CheckpointEveryBatches: so.CheckpointEveryBatches,
+		Set:                    so.Set,
+		Partition:              so.Partition,
+		KeyBits:                so.KeyBits,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	so.Async = true
+	so.Journal = st
+	return shard.NewFrom(sets, &so), st, nil
+}
+
+// fail records the first hard error the store hits and returns err.
+func (st *Store) fail(err error) error {
+	st.errMu.Lock()
+	if st.firstErr == nil {
+		st.firstErr = err
+	}
+	st.errMu.Unlock()
+	return err
+}
+
+// Err returns the first hard I/O error the store has hit, if any.
+func (st *Store) Err() error {
+	st.errMu.Lock()
+	defer st.errMu.Unlock()
+	return st.firstErr
+}
+
+// Append logs one sorted batch for shard p ahead of its apply
+// (shard.Journal). Group commit: the record lands in the segment's buffer
+// immediately and the file is fsynced once SyncEvery records or SyncBytes
+// bytes accumulate.
+func (st *Store) Append(p int, remove bool, keys []uint64) error {
+	if st.closed.Load() {
+		return st.fail(fmt.Errorf("persist: append on closed store"))
+	}
+	sh := st.shards[p]
+	sh.mu.Lock()
+	seq := sh.seq.Load() + 1
+	sh.encBuf = appendRecord(sh.encBuf[:0], seq, remove, keys)
+	frameLen := len(sh.encBuf)
+	if err := sh.seg.append(sh.encBuf); err != nil {
+		sh.mu.Unlock()
+		return st.fail(err)
+	}
+	sh.seq.Store(seq)
+	sh.pendingRecs++
+	sh.pendingBytes += frameLen
+	if (st.opt.SyncEvery > 0 && sh.pendingRecs >= st.opt.SyncEvery) ||
+		(st.opt.SyncBytes > 0 && sh.pendingBytes >= st.opt.SyncBytes) {
+		if err := st.syncLocked(sh); err != nil {
+			sh.mu.Unlock()
+			return st.fail(err)
+		}
+	}
+	sh.mu.Unlock()
+
+	st.appBatches.Add(1)
+	st.appKeys.Add(uint64(len(keys)))
+	st.appBytes.Add(uint64(frameLen))
+	if st.opt.CheckpointEveryBatches > 0 &&
+		seq-sh.ckptSeq.Load() >= uint64(st.opt.CheckpointEveryBatches) {
+		select {
+		case st.ckptReq <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+func (st *Store) syncLocked(sh *storeShard) error {
+	if sh.pendingRecs == 0 && sh.pendingBytes == 0 {
+		return nil
+	}
+	if err := sh.seg.sync(); err != nil {
+		return err
+	}
+	sh.pendingRecs = 0
+	sh.pendingBytes = 0
+	st.fsyncs.Add(1)
+	return nil
+}
+
+// Synced forces shard p's WAL to stable storage (shard.Journal; the
+// durability barrier behind Flush).
+func (st *Store) Synced(p int) error {
+	sh := st.shards[p]
+	sh.mu.Lock()
+	err := st.syncLocked(sh)
+	sh.mu.Unlock()
+	if err != nil {
+		return st.fail(err)
+	}
+	return nil
+}
+
+// Published records shard p's latest frozen handle (shard.Journal). The
+// caller is the shard's writer goroutine, so every record it appended is
+// covered by this handle and sh.seq is stable for the read.
+func (st *Store) Published(p int, set *cpma.CPMA) {
+	sh := st.shards[p]
+	seq := sh.seq.Load()
+	sh.pubMu.Lock()
+	sh.pubSet = set
+	sh.pubSeq = seq
+	sh.pubMu.Unlock()
+}
+
+// Stats returns the store's counters (shard.Journal).
+func (st *Store) Stats() shard.PersistStats {
+	return shard.PersistStats{
+		AppendedBatches:   st.appBatches.Load(),
+		AppendedKeys:      st.appKeys.Load(),
+		AppendedBytes:     st.appBytes.Load(),
+		Fsyncs:            st.fsyncs.Load(),
+		Checkpoints:       st.ckpts.Load(),
+		CheckpointBytes:   st.ckptBytes.Load(),
+		TruncatedSegments: st.truncSegs.Load(),
+		RecoveredKeys:     st.recoveredKeys,
+		ReplayedBatches:   st.replayedBatches,
+		ReplayedKeys:      st.replayedKeys,
+		TornBytes:         st.tornBytes,
+	}
+}
+
+// Checkpoint writes a slab checkpoint for every shard whose published
+// state has advanced past its last checkpoint, then truncates obsolete
+// WAL segments (shard.Journal). Callers wanting "everything enqueued so
+// far is checkpointed" should flush the set first — Sharded.Checkpoint
+// does.
+func (st *Store) Checkpoint() error {
+	st.ckptMu.Lock()
+	defer st.ckptMu.Unlock()
+	// Checked under ckptMu: Close tears the segments down while holding
+	// it, so a Checkpoint that loses the race observes closed here rather
+	// than rotating onto a closed file (which would poison the sticky
+	// error on a perfectly clean shutdown).
+	if st.closed.Load() {
+		return st.Err()
+	}
+	var firstErr error
+	for _, sh := range st.shards {
+		if err := st.checkpointShard(sh, 1); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return st.fail(firstErr)
+	}
+	return st.Err()
+}
+
+// checkpointShard checkpoints one shard if its published state covers at
+// least minAdvance records past the last checkpoint. Caller holds ckptMu.
+func (st *Store) checkpointShard(sh *storeShard, minAdvance uint64) error {
+	sh.pubMu.Lock()
+	set, seq := sh.pubSet, sh.pubSeq
+	sh.pubMu.Unlock()
+	cur := sh.ckptSeq.Load()
+	if set == nil || seq < cur+minAdvance {
+		return nil
+	}
+
+	payloadBytes, err := writeCheckpoint(sh.dir, sh.id, seq, set)
+	if err != nil {
+		return err
+	}
+	st.ckpts.Add(1)
+	st.ckptBytes.Add(payloadBytes)
+	floor := cur // the now-previous checkpoint: the WAL deletion floor
+	sh.prevCkptSeq = cur
+	sh.ckptSeq.Store(seq)
+
+	// Rotate the active segment so the prefix up to here lives in closed
+	// segments that future checkpoints can delete whole.
+	sh.mu.Lock()
+	if sh.seg.records > 0 {
+		err = st.syncLocked(sh)
+		if err == nil {
+			err = sh.seg.close()
+		}
+		if err == nil {
+			var nsg *segment
+			nsg, err = createSegment(filepath.Join(sh.dir, segmentName(sh.seq.Load()+1)), sh.id)
+			if err == nil {
+				sh.seg = nsg
+			}
+		}
+	}
+	sh.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	// Drop checkpoints older than the retained pair, then every closed
+	// segment whose records are all covered by the deletion floor (a
+	// segment's records end one before the next segment's first seq).
+	ckptSeqs, err := listSeqFiles(sh.dir, "ckpt-", ".ckpt")
+	if err != nil {
+		return err
+	}
+	for _, s := range ckptSeqs {
+		if s < sh.prevCkptSeq {
+			if err := os.Remove(filepath.Join(sh.dir, checkpointName(s))); err != nil {
+				return err
+			}
+		}
+	}
+	segSeqs, err := listSeqFiles(sh.dir, "wal-", ".log")
+	if err != nil {
+		return err
+	}
+	removed := false
+	for i := 0; i+1 < len(segSeqs); i++ {
+		if segSeqs[i+1]-1 > floor {
+			break
+		}
+		if err := os.Remove(filepath.Join(sh.dir, segmentName(segSeqs[i]))); err != nil {
+			return err
+		}
+		st.truncSegs.Add(1)
+		removed = true
+	}
+	if removed {
+		if err := syncDir(sh.dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runCheckpointer is the background checkpoint loop: woken by Append when
+// a shard crosses CheckpointEveryBatches, it checkpoints every shard that
+// is over the threshold. Errors are sticky (Err) — durability of the WAL
+// is unaffected by a failed checkpoint, so the pipeline keeps running.
+func (st *Store) runCheckpointer() {
+	defer st.wg.Done()
+	for {
+		select {
+		case <-st.done:
+			return
+		case <-st.ckptReq:
+			st.ckptMu.Lock()
+			for _, sh := range st.shards {
+				if err := st.checkpointShard(sh, uint64(st.opt.CheckpointEveryBatches)); err != nil {
+					st.fail(err)
+				}
+			}
+			st.ckptMu.Unlock()
+		}
+	}
+}
+
+// Close stops the checkpointer, fsyncs and closes every shard's WAL, and
+// returns the store's first hard error (shard.Journal). Idempotent. The
+// caller must have stopped the shard writers first — Sharded.Close does,
+// closing the journal only after the final drain.
+func (st *Store) Close() error {
+	st.closeOnce.Do(func() {
+		st.closed.Store(true)
+		close(st.done)
+		st.wg.Wait()
+		// ckptMu excludes in-flight Checkpoint passes: they either finish
+		// before the teardown (their rotations land on live segments) or
+		// observe closed after acquiring the lock and do nothing.
+		st.ckptMu.Lock()
+		for _, sh := range st.shards {
+			sh.mu.Lock()
+			if err := st.syncLocked(sh); err == nil {
+				if err := sh.seg.close(); err != nil {
+					st.fail(err)
+				}
+			} else {
+				st.fail(err)
+				sh.seg.close()
+			}
+			sh.mu.Unlock()
+		}
+		st.ckptMu.Unlock()
+		st.releaseLock()
+		st.closedErr = st.Err()
+	})
+	return st.closedErr
+}

@@ -1,0 +1,143 @@
+package persist
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	cases := [][]uint64{
+		{1},
+		{1, 2, 3, 1 << 40, 1<<64 - 1},
+		{7, 7, 7, 9}, // coalesced merges may carry duplicates
+		{},
+	}
+	for i, keys := range cases {
+		for _, remove := range []bool{false, true} {
+			frame := appendRecord(nil, uint64(100+i), remove, keys)
+			plen := binary.LittleEndian.Uint32(frame)
+			rec, err := decodeRecord(frame[recHeaderSize : recHeaderSize+int(plen)])
+			if err != nil {
+				t.Fatalf("case %d: decode: %v", i, err)
+			}
+			if rec.seq != uint64(100+i) || rec.remove != remove {
+				t.Fatalf("case %d: got seq=%d remove=%v", i, rec.seq, rec.remove)
+			}
+			if !slices.Equal(rec.keys, keys) && !(len(keys) == 0 && len(rec.keys) == 0) {
+				t.Fatalf("case %d: keys %v != %v", i, rec.keys, keys)
+			}
+		}
+	}
+}
+
+func TestDecodeRecordRejectsMalformed(t *testing.T) {
+	frame := appendRecord(nil, 5, false, []uint64{10, 20})
+	payload := frame[recHeaderSize:]
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad-kind":       append([]byte{9}, payload[1:]...),
+		"truncated":      payload[:len(payload)-1],
+		"trailing-bytes": append(slices.Clone(payload), 0x01),
+		"absurd-count": func() []byte {
+			b := slices.Clone(payload[:2])
+			return binary.AppendUvarint(b, 1<<40)
+		}(),
+	}
+	for name, p := range cases {
+		if _, err := decodeRecord(p); err == nil {
+			t.Errorf("%s: decodeRecord accepted malformed payload", name)
+		}
+	}
+}
+
+// writeTestSegment creates a segment holding the given records and
+// returns its path.
+func writeTestSegment(t *testing.T, dir string, shardID int, firstSeq uint64, batches [][]uint64) string {
+	t.Helper()
+	path := filepath.Join(dir, segmentName(firstSeq))
+	sg, err := createSegment(path, shardID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, keys := range batches {
+		if err := sg.append(appendRecord(nil, firstSeq+uint64(i), false, keys)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sg.sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sg.close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestScanSegmentStopsAtDamage(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestSegment(t, dir, 3, 1, [][]uint64{{1, 2}, {3}, {4, 5, 6}})
+	recs, validEnd, headerOK, err := scanSegment(path, 3)
+	if err != nil || !headerOK {
+		t.Fatalf("clean scan: err=%v headerOK=%v", err, headerOK)
+	}
+	if len(recs) != 3 || recs[2].end != validEnd {
+		t.Fatalf("clean scan: %d records, validEnd %d vs last end %d", len(recs), validEnd, recs[len(recs)-1].end)
+	}
+
+	data, _ := os.ReadFile(path)
+
+	// Shard mismatch or mangled magic invalidates the whole file.
+	if _, _, ok, _ := scanSegment(path, 4); ok {
+		t.Fatal("scan accepted a segment belonging to another shard")
+	}
+	bad := slices.Clone(data)
+	bad[0] = 'X'
+	os.WriteFile(path, bad, 0o644)
+	if _, _, ok, _ := scanSegment(path, 3); ok {
+		t.Fatal("scan accepted a segment with bad magic")
+	}
+
+	// A flipped byte inside record 2's payload ends the valid prefix at
+	// record 1's boundary; bytes past it are ignored.
+	bad = slices.Clone(data)
+	bad[recs[1].start+recHeaderSize] ^= 0x40
+	os.WriteFile(path, bad, 0o644)
+	got, end, ok, _ := scanSegment(path, 3)
+	if !ok || len(got) != 1 || end != recs[0].end {
+		t.Fatalf("corrupt scan: headerOK=%v records=%d end=%d (want 1 record ending %d)", ok, len(got), end, recs[0].end)
+	}
+
+	// Every byte-truncation of the file yields a clean record-boundary
+	// prefix.
+	for n := int64(0); n <= int64(len(data)); n++ {
+		os.WriteFile(path, data[:n], 0o644)
+		got, end, ok, err := scanSegment(path, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < segHeaderSize {
+			if ok {
+				t.Fatalf("truncation %d: header accepted", n)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("truncation %d: header rejected", n)
+		}
+		want := 0
+		for _, r := range recs {
+			if r.end <= n {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("truncation %d: %d records, want %d", n, len(got), want)
+		}
+		if end > n {
+			t.Fatalf("truncation %d: validEnd %d past file end", n, end)
+		}
+	}
+}

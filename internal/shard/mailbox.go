@@ -12,6 +12,7 @@ package shard
 // instead of many small ones.
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/parallel"
@@ -179,12 +180,18 @@ func (s *Sharded) writer(p int) {
 				break drain
 			}
 		}
-		s.applyPending(c, &ws)
+		s.applyPending(p, c, &ws)
 		// Copy-on-publish: one frozen handle per state-changing drain, so
 		// snapshot captures never wait on (or block) the apply path. The
 		// final drain before exit publishes too, so a Snapshot taken after
 		// Close sees the fully drained state.
-		s.publish(c)
+		sn := s.publish(c)
+		// The journal learns the published handle after every drain: it is
+		// the immutable state a checkpoint can serialize, covering every
+		// record appended so far (this goroutine appended them all).
+		if j := s.opt.Journal; j != nil {
+			j.Published(p, sn.set)
+		}
 		ws.release()
 		if closed {
 			return
@@ -197,7 +204,7 @@ func (s *Sharded) writer(p int) {
 // ticketed ops apply alone so their fresh/removed counts stay exact; flush
 // tokens just complete their tickets (everything enqueued before them has
 // been applied by the time they are reached).
-func (s *Sharded) applyPending(c *cell, ws *writerScratch) {
+func (s *Sharded) applyPending(p int, c *cell, ws *writerScratch) {
 	pending := ws.pending
 	for i := 0; i < len(pending); {
 		op := pending[i]
@@ -205,12 +212,21 @@ func (s *Sharded) applyPending(c *cell, ws *writerScratch) {
 		case op.kind == opFlush:
 			// Publish before completing the token: once a Flush returns,
 			// the published handles must include everything it covered
-			// (the snapshot read-your-flushes guarantee).
-			s.publish(c)
+			// (the snapshot read-your-flushes guarantee). On a durable set
+			// the token is also the durability barrier — hand the journal
+			// the fresh handle and force its log to disk before anyone
+			// waiting on the Flush is released.
+			sn := s.publish(c)
+			if j := s.opt.Journal; j != nil {
+				j.Published(p, sn.set)
+				if err := j.Synced(p); err != nil {
+					panic(fmt.Sprintf("shard %d: journal sync: %v", p, err))
+				}
+			}
 			op.tk.complete(0)
 			i++
 		case op.tk != nil:
-			op.tk.complete(applyOne(c, op.kind, op.keys))
+			op.tk.complete(s.applyOne(p, c, op.kind, op.keys))
 			i++
 		default:
 			j := i + 1
@@ -225,19 +241,27 @@ func (s *Sharded) applyPending(c *cell, ws *writerScratch) {
 				}
 				keys = mergeRuns(ws.runs, &ws.bufs)
 			}
-			applyOne(c, op.kind, keys)
+			s.applyOne(p, c, op.kind, keys)
 			i = j
 		}
 	}
 }
 
-// applyOne applies one sorted batch to the shard under its lock, records
-// it in the ingest counters, and advances the shard's snapshot epoch when
-// the apply changed state (all-duplicate or all-absent batches leave the
-// state — and therefore the published snapshot — untouched).
-func applyOne(c *cell, kind opKind, keys []uint64) int {
+// applyOne applies one sorted batch to shard p under its lock, records it
+// in the ingest counters, and advances the shard's snapshot epoch when the
+// apply changed state (all-duplicate or all-absent batches leave the state
+// — and therefore the published snapshot — untouched). On a durable set
+// the batch is appended to the shard's write-ahead log first, outside the
+// shard lock: the log must never trail the in-memory state it redoes, and
+// a log the set cannot append to is fatal (see Journal).
+func (s *Sharded) applyOne(p int, c *cell, kind opKind, keys []uint64) int {
 	if len(keys) == 0 {
 		return 0
+	}
+	if j := s.opt.Journal; j != nil {
+		if err := j.Append(p, kind == opRemove, keys); err != nil {
+			panic(fmt.Sprintf("shard %d: journal append: %v", p, err))
+		}
 	}
 	c.appBatches.Add(1)
 	c.appKeys.Add(uint64(len(keys)))

@@ -90,6 +90,21 @@
 // reads like Has and Len do see it; only the snapshot publication lags).
 // A Snapshot outlives Close. See Snapshot and SnapshotStats in
 // snapshot.go.
+//
+// # Durability (Options.Journal)
+//
+// A durable set plugs a Journal (implemented by repro/internal/persist)
+// into the async pipeline. The mailbox writers are the hook points: each
+// writer appends its batch to the journal before applying it
+// (write-ahead), hands the journal the frozen handle it publishes after
+// every drain (the checkpointable state), and turns Flush tokens into
+// fsync barriers. Checkpoint() is Flush plus a slab checkpoint of every
+// shard and WAL truncation; PersistStats() reports the journal counters.
+// Because all mutations on an async set flow through the writers — point
+// ops and ticketed batches included — the journal observes the complete
+// per-shard operation sequence with no extra synchronization on the
+// ingest path. See the persist package for the durability contract and
+// the on-disk formats.
 package shard
 
 import (
@@ -149,6 +164,100 @@ type Options struct {
 	// reading, so reads observe all previously enqueued operations. The
 	// default is read-through: reads see only applied state.
 	FlushReads bool
+
+	// Dir, when non-empty, asks for crash durability: a per-shard
+	// write-ahead log plus slab checkpoints rooted at this directory. The
+	// shard package itself only carries these fields — the persist layer
+	// reads them, recovers the on-disk state, and hands New a Journal; use
+	// repro.OpenDurableShardedSet (or persist.OpenSharded) to build a
+	// durable set. New panics if Dir is set without a Journal, so a
+	// silently non-durable set cannot be constructed by accident.
+	Dir string
+	// SyncEvery is the WAL group-commit record threshold: each shard's log
+	// is fsynced after this many appended batch records (1 = every record,
+	// 0 = the persist layer's default, negative = no count-based fsync).
+	SyncEvery int
+	// SyncBytes is the WAL group-commit byte threshold, fsyncing a shard's
+	// log once this many bytes accumulate since the last sync (0 = default,
+	// negative = no byte-based fsync). Flush always forces an fsync
+	// regardless of both knobs.
+	SyncBytes int
+	// CheckpointEveryBatches makes the background checkpointer write a
+	// shard's slab checkpoint (and truncate its WAL prefix) once that many
+	// batch records accumulate past the last checkpoint (0 = default,
+	// negative = checkpoint only on explicit Checkpoint calls).
+	CheckpointEveryBatches int
+	// Journal is the durability hook the persist layer implements. Requires
+	// Async: the journal is driven by the mailbox writer goroutines.
+	Journal Journal
+}
+
+// Journal is the hook a persistence layer plugs into an async Sharded set.
+// All per-shard calls (Append, Published, Synced) are made from the owning
+// shard's writer goroutine only, strictly ordered: every batch is Appended
+// before it is applied to the shard's CPMA (write-ahead), Published hands
+// over the frozen handle covering everything appended so far after each
+// drain, and Synced is the durability barrier behind Flush. Checkpoint,
+// Stats, and Close may be called from any goroutine.
+//
+// Append and Synced errors are fatal to the writer goroutine (it panics):
+// a durable set that can no longer log must not keep acknowledging
+// mutations as if it could.
+type Journal interface {
+	// Append logs one sorted batch bound for shard p before it is applied.
+	Append(p int, remove bool, keys []uint64) error
+	// Published reports that set — an immutable handle — reflects every
+	// batch appended to shard p so far.
+	Published(p int, set *cpma.CPMA)
+	// Synced forces shard p's log to stable storage.
+	Synced(p int) error
+	// Checkpoint writes a durable checkpoint for every shard and truncates
+	// obsolete WAL prefixes.
+	Checkpoint() error
+	// Stats returns the journal's counters.
+	Stats() PersistStats
+	// Err returns the first hard I/O error the journal has hit (sticky),
+	// including failures during Close.
+	Err() error
+	// Close flushes and closes the journal. Idempotent.
+	Close() error
+}
+
+// PersistStats counts a durable set's journal and checkpoint work. The
+// Appended/Fsync counters track the write-ahead log, the Checkpoint
+// counters the slab snapshots (CheckpointBytes uses the CPMA's encoded
+// slab size, which tracks SizeBytes — and therefore SnapshotStats'
+// CloneBytes — up to a fixed header), and the Recovered/Replayed/Torn
+// counters describe the recovery the store performed when it was opened.
+type PersistStats struct {
+	AppendedBatches   uint64 // WAL records appended (one per applied batch)
+	AppendedKeys      uint64 // keys across those records
+	AppendedBytes     uint64 // encoded WAL bytes appended
+	Fsyncs            uint64 // WAL fsyncs (group commits + barriers)
+	Checkpoints       uint64 // slab checkpoints written
+	CheckpointBytes   uint64 // encoded slab bytes across those checkpoints
+	TruncatedSegments uint64 // WAL segment files deleted behind checkpoints
+	RecoveredKeys     uint64 // keys in the recovered shards at Open (checkpoint + replay)
+	ReplayedBatches   uint64 // WAL records replayed at Open
+	ReplayedKeys      uint64 // keys across replayed records
+	TornBytes         uint64 // trailing WAL bytes discarded as torn at Open
+}
+
+// Sub returns the counter deltas st - prev (for measuring one phase).
+func (st PersistStats) Sub(prev PersistStats) PersistStats {
+	return PersistStats{
+		AppendedBatches:   st.AppendedBatches - prev.AppendedBatches,
+		AppendedKeys:      st.AppendedKeys - prev.AppendedKeys,
+		AppendedBytes:     st.AppendedBytes - prev.AppendedBytes,
+		Fsyncs:            st.Fsyncs - prev.Fsyncs,
+		Checkpoints:       st.Checkpoints - prev.Checkpoints,
+		CheckpointBytes:   st.CheckpointBytes - prev.CheckpointBytes,
+		TruncatedSegments: st.TruncatedSegments - prev.TruncatedSegments,
+		RecoveredKeys:     st.RecoveredKeys - prev.RecoveredKeys,
+		ReplayedBatches:   st.ReplayedBatches - prev.ReplayedBatches,
+		ReplayedKeys:      st.ReplayedKeys - prev.ReplayedKeys,
+		TornBytes:         st.TornBytes - prev.TornBytes,
+	}
 }
 
 // cell is one shard: a CPMA plus its lock, mailbox, and ingest counters,
@@ -205,9 +314,30 @@ type Sharded struct {
 // New returns a Sharded set with the given number of shards (clamped to at
 // least 1); opts may be nil for hash partitioning over default CPMAs.
 func New(shards int, opts *Options) *Sharded {
+	return newSharded(shards, nil, opts)
+}
+
+// NewFrom returns a Sharded set seeded with the given per-shard CPMAs —
+// one shard per entry, ownership transferring to the set (callers must not
+// touch them afterwards). The persist layer uses it to restart a durable
+// set from its recovered shards.
+func NewFrom(sets []*cpma.CPMA, opts *Options) *Sharded {
+	if len(sets) == 0 {
+		panic("shard: NewFrom needs at least one shard")
+	}
+	return newSharded(len(sets), sets, opts)
+}
+
+func newSharded(shards int, seed []*cpma.CPMA, opts *Options) *Sharded {
 	var o Options
 	if opts != nil {
 		o = *opts
+	}
+	if o.Journal != nil && !o.Async {
+		panic("shard: a Journal requires the async pipeline (Options.Async)")
+	}
+	if o.Dir != "" && o.Journal == nil {
+		panic("shard: Options.Dir set without a Journal; build durable sets with repro.OpenDurableShardedSet")
 	}
 	if shards < 1 {
 		shards = 1
@@ -224,7 +354,11 @@ func New(shards int, opts *Options) *Sharded {
 	s := &Sharded{cells: make([]cell, shards), opt: o}
 	s.rt = router{part: o.Partition, width: spanWidth(o.KeyBits, shards), shards: shards}
 	for i := range s.cells {
-		s.cells[i].set = cpma.New(o.Set)
+		if seed != nil {
+			s.cells[i].set = seed[i]
+		} else {
+			s.cells[i].set = cpma.New(o.Set)
+		}
 		// Seed each shard's published handle at epoch 0, so a Snapshot
 		// captured before any publication still holds valid frozen sets.
 		s.cells[i].snap.Store(&shardSnap{set: s.cells[i].set.Clone()})
@@ -478,7 +612,10 @@ func (s *Sharded) flushSpan(lo, hi int) {
 // set closed: further mutations panic, Flush becomes a no-op, and reads
 // keep working against the final state. Idempotent; safe against
 // concurrent Flush and reads, but must not race in-flight mutations. A
-// no-op on synchronous sets.
+// no-op on synchronous sets. On a durable set the Close that wins the
+// race additionally closes the journal after the drain, fsyncing every
+// shard's log (the final durability barrier); journal close errors are
+// sticky — check PersistErr after Close.
 func (s *Sharded) Close() {
 	if !s.opt.Async {
 		return
@@ -500,6 +637,48 @@ func (s *Sharded) Close() {
 		close(s.cells[p].mbox)
 	}
 	s.writers.Wait()
+	if j := s.opt.Journal; j != nil {
+		j.Close()
+	}
+}
+
+// Durable reports whether this set runs a persistence journal.
+func (s *Sharded) Durable() bool { return s.opt.Journal != nil }
+
+// Checkpoint is the durability barrier: it flushes the pipeline (every
+// previously enqueued operation applied and logged), then writes a slab
+// checkpoint of every shard's published state and truncates the obsolete
+// WAL prefix. After Checkpoint returns, recovery replays at most the
+// operations enqueued after the call. On a non-durable set it degrades to
+// a plain Flush and returns nil.
+func (s *Sharded) Checkpoint() error {
+	s.Flush()
+	if s.opt.Journal == nil {
+		return nil
+	}
+	return s.opt.Journal.Checkpoint()
+}
+
+// PersistStats returns the durability counters (zero on a non-durable
+// set). Counters are monotone; snapshot before and after a phase and Sub
+// the two to measure it.
+func (s *Sharded) PersistStats() PersistStats {
+	if s.opt.Journal == nil {
+		return PersistStats{}
+	}
+	return s.opt.Journal.Stats()
+}
+
+// PersistErr returns the first hard I/O error the durability journal has
+// hit, nil on a healthy or non-durable set. It is the post-Close health
+// check: Close cannot return an error, so a failed final fsync (real
+// durability loss) surfaces here — check it after Close before trusting
+// the unsynced tail to have landed.
+func (s *Sharded) PersistErr() error {
+	if s.opt.Journal == nil {
+		return nil
+	}
+	return s.opt.Journal.Err()
 }
 
 func (s *Sharded) batch(keys []uint64, sorted bool, apply func(set *cpma.CPMA, sub []uint64) int) int {

@@ -51,6 +51,31 @@
 // repro/internal/shard package documentation for the precise consistency
 // contract.
 //
+// # Durability
+//
+// OpenDurableShardedSet adds crash durability to the async pipeline,
+// exploiting the paper's headline property: a CPMA has no pointers — its
+// whole state is flat slabs — so a checkpoint is a raw slab dump of a
+// frozen snapshot handle, with no traversal and no pointer fixup on
+// either side. Each shard's mailbox writer appends every coalesced batch
+// to a per-shard CRC-framed write-ahead log before applying it; a
+// background checkpointer serializes the writer-published snapshot
+// handles off the hot path and truncates the log prefix they cover; on
+// open, each shard loads its newest valid checkpoint and replays the log
+// tail, truncating torn records at the first bad CRC.
+//
+// The contract has three durability levels (see repro/internal/persist
+// for the fine print): an acknowledged mutation is logged but fsynced
+// only per the ShardedSetOptions.SyncEvery/SyncBytes group-commit knobs;
+// after Flush returns, everything previously enqueued is applied and
+// fsynced (set SyncEvery=1 to make every acknowledged batch durable);
+// after Checkpoint returns, recovery work is bounded by the log tail
+// written since. Recovery restores, per shard, an exact prefix of the
+// acknowledged batch history: synced batches are never lost and torn
+// tails are cleanly truncated. The on-disk formats (manifest, WAL
+// segments, checkpoints) are versioned via magics; mismatched versions or
+// set geometry (shard count, partition, key bits) are rejected at open.
+//
 // Quick start:
 //
 //	s := repro.NewSet(nil)
@@ -62,6 +87,7 @@ import (
 	"repro/internal/cpma"
 	"repro/internal/fgraph"
 	"repro/internal/graph"
+	"repro/internal/persist"
 	"repro/internal/pma"
 	"repro/internal/shard"
 	"repro/internal/workload"
@@ -129,9 +155,41 @@ func NewAsyncShardedSet(shards int, opts *SetOptions) *ShardedSet {
 }
 
 // NewShardedSetWith returns a ShardedSet with full control over
-// partitioning and the async pipeline; opts may be nil.
+// partitioning and the async pipeline; opts may be nil. It builds
+// in-memory sets only: opts.Dir must be empty (use OpenDurableShardedSet
+// for a durable set — this constructor cannot report recovery errors).
 func NewShardedSetWith(shards int, opts *ShardedSetOptions) *ShardedSet {
 	return shard.New(shards, opts)
+}
+
+// ShardPersistStats reports a durable ShardedSet's journal and checkpoint
+// work: WAL records/bytes/fsyncs, checkpoints and their encoded slab
+// bytes (comparable with SizeBytes and the snapshot CloneBytes), WAL
+// segments truncated behind checkpoints, and what recovery did at open
+// (keys recovered, batches replayed, torn bytes discarded).
+type ShardPersistStats = shard.PersistStats
+
+// OpenDurableShardedSet opens (creating if absent) the durable sharded
+// set stored under dir and returns it recovered and running: an async
+// ShardedSet whose mailbox writers append every batch to a per-shard
+// write-ahead log before applying it, with slab checkpoints written off
+// the hot path. opts may be nil; its Dir field is overridden by dir,
+// Async is implied, and SyncEvery/SyncBytes/CheckpointEveryBatches tune
+// the group-commit and checkpoint cadence (see the package documentation
+// for the durability contract). The set's Checkpoint method is the
+// durability barrier, PersistStats reports the journal counters, and
+// Close fsyncs and closes the store; Close cannot return an error, so
+// check PersistErr after it — a non-nil result means a late fsync failed
+// and the unsynced tail may not have landed. Reopening a directory with
+// a different shard count, partition, or key width is an error.
+func OpenDurableShardedSet(dir string, shards int, opts *ShardedSetOptions) (*ShardedSet, error) {
+	var o ShardedSetOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.Dir = dir
+	s, _, err := persist.OpenSharded(shards, &o)
+	return s, err
 }
 
 // PMA is the uncompressed batch-parallel Packed Memory Array.
