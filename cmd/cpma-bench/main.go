@@ -9,8 +9,8 @@
 //	cpma-bench all
 //
 // Experiments: fig1 fig2 fig7 fig8 fig11 table1 table3 table4 table5
-// table6 growfactor shards all. The defaults are ~100x below paper scale;
-// raise -n/-k on a machine with the paper's 256 GB.
+// table6 growfactor shards rebalance persist all. The defaults are ~100x
+// below paper scale; raise -n/-k on a machine with the paper's 256 GB.
 //
 // The shards experiment goes beyond the paper: it sweeps the concurrent
 // sharded front-end from 1 to -shards shards, with -clients goroutines
@@ -20,7 +20,13 @@
 // It then sweeps the asynchronous mailbox pipeline over clients × mailbox
 // depth (-depths), comparing fire-and-forget ingest (with a final Flush)
 // against the blocking front-end and reporting the achieved coalesced
-// batch size. Finally it sweeps snapshot-scan-while-ingesting (-scanners):
+// batch size. With -zipf (or the standalone rebalance experiment) it adds
+// the zipfian skew sweep: power-law inserts (-zipfs exponent) into a
+// range-partitioned set with live span rebalancing off versus on,
+// reporting per-shard load ratio, ingest throughput, and boundary moves —
+// the standalone form exits nonzero if rebalancing leaves the max/mean
+// key-count ratio above 2x. Finally it sweeps
+// snapshot-scan-while-ingesting (-scanners):
 // concurrent full-set scans through Flush barriers versus lock-free
 // Snapshot captures of the writer-published frozen handles, reporting
 // scan and ingest throughput under each discipline plus the
@@ -55,6 +61,8 @@ func main() {
 	asyncBatch := flag.Int("asyncbatch", 500, "keys per client batch in the async ingest sweep")
 	scanners := flag.String("scanners", "1,4", "scanner counts for the snapshot-scan sweep")
 	persistDir := flag.String("persistdir", "", "directory for the persist experiment (default: a fresh temp dir)")
+	zipf := flag.Bool("zipf", false, "add the zipfian skew/rebalance sweep to the shards experiment")
+	zipfS := flag.Float64("zipfs", 1.1, "power-law exponent for the skew sweep")
 	flag.Parse()
 
 	part, err := parsePartition(*partition)
@@ -216,6 +224,10 @@ func main() {
 		at.Write(out)
 		fmt.Fprintln(out)
 
+		if *zipf {
+			runRebalanceSweep(out, cfg, *shards, *clients, *asyncBatch, *zipfS)
+		}
+
 		srows := experiments.ShardSnapshotScan(cfg, *shards, *clients, scannerList, *asyncBatch, part)
 		fmt.Fprintf(out, "Snapshot scans while ingesting (%s partition): %d shards, %d clients, flush-barrier vs lock-free snapshot scans\n",
 			*partition, *shards, *clients)
@@ -229,6 +241,13 @@ func main() {
 		}
 		st.Write(out)
 		fmt.Fprintln(out)
+	}
+	if (all || run["rebalance"]) && !run["shards"] {
+		// Standalone skew sweep (the shards experiment embeds it via -zipf).
+		if !runRebalanceSweep(out, cfg, *shards, *clients, *asyncBatch, *zipfS) {
+			fmt.Fprintln(os.Stderr, "rebalance sweep: skew ratio above the 2x acceptance bound with rebalancing on")
+			os.Exit(1)
+		}
 	}
 	if all || run["persist"] {
 		dir := *persistDir
@@ -274,6 +293,37 @@ func main() {
 		t.Write(out)
 		fmt.Fprintln(out)
 	}
+}
+
+// runRebalanceSweep prints the zipfian skew sweep (rebalance off vs on
+// over a range-partitioned async set) and reports whether the
+// rebalance-on run met the <= 2x max/mean load-ratio bound.
+func runRebalanceSweep(out *os.File, cfg experiments.MicroConfig, shards, clients, batchSize int, s float64) bool {
+	rows := experiments.ShardRebalanceSweep(cfg, shards, clients, batchSize, s)
+	fmt.Fprintf(out, "Zipfian skew sweep (range partition, power-law s=%.2f over %d-bit keys): %d shards, %d clients, live rebalancing off vs on\n",
+		s, experiments.RebalanceBits, shards, clients)
+	t := stats.NewTable("rebalance", "ingest TP", "TP gain", "max/mean", "hot frac", "moves", "moved keys", "final n")
+	ok := true
+	var offTP float64
+	for _, r := range rows {
+		name := "off"
+		gain := "-"
+		if r.Rebalance {
+			name = "on"
+			gain = stats.Ratio(r.IngestTP, offTP)
+			if shards > 1 && r.MaxMeanRatio > 2 {
+				ok = false
+			}
+		} else {
+			offTP = r.IngestTP
+		}
+		t.Row(name, stats.Sci(r.IngestTP), gain,
+			fmt.Sprintf("%.2f", r.MaxMeanRatio), fmt.Sprintf("%.2f", r.MaxShardFrac),
+			r.Moves, stats.Sci(float64(r.MovedKeys)), stats.Sci(float64(r.FinalKeys)))
+	}
+	t.Write(out)
+	fmt.Fprintln(out)
+	return ok
 }
 
 func parsePartition(s string) (shard.Partition, error) {

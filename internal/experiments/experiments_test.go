@@ -236,3 +236,29 @@ func TestFig10NonPowerOfTwoVertexSpace(t *testing.T) {
 		}
 	}
 }
+
+func TestShardRebalanceSweep(t *testing.T) {
+	cfg := MicroConfig{BaseN: 5_000, TotalK: 30_000, Seed: 3, Trials: 1}
+	rows := ShardRebalanceSweep(cfg, 4, 4, 250, 1.1)
+	if len(rows) != 2 || rows[0].Rebalance || !rows[1].Rebalance {
+		t.Fatalf("want an off/on row pair, got %+v", rows)
+	}
+	off, on := rows[0], rows[1]
+	if off.IngestTP <= 0 || on.IngestTP <= 0 {
+		t.Fatalf("bad throughputs: %+v", rows)
+	}
+	if off.FinalKeys != on.FinalKeys {
+		t.Fatalf("identical workloads diverged: %d vs %d keys", off.FinalKeys, on.FinalKeys)
+	}
+	if off.Moves != 0 || on.Moves == 0 {
+		t.Fatalf("move accounting off: off=%d on=%d", off.Moves, on.Moves)
+	}
+	// The acceptance bound: unscrambled power-law skew must be visible
+	// with rebalancing off and repaired (max/mean <= 2) with it on.
+	if off.MaxMeanRatio <= 2 {
+		t.Fatalf("workload not skewed enough to test: off ratio %.2f", off.MaxMeanRatio)
+	}
+	if on.MaxMeanRatio > 2 {
+		t.Fatalf("rebalancing left ratio %.2f", on.MaxMeanRatio)
+	}
+}

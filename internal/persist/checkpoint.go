@@ -138,7 +138,12 @@ func loadCheckpoint(path string, shardID int, seq uint64, opts *cpma.Options) (*
 
 // manifest records the set geometry the store was created with; reopening
 // with different geometry is an error (the log would replay into the
-// wrong shards).
+// wrong shards). Version history: 1 = fixed equal-width spans; 2 = the
+// span boundary table became dynamic state, carried in the generation-
+// stamped BOUNDS sidecar (see bounds.go) and updated by rebalance
+// barriers. Both versions are accepted on open — a version-1 store simply
+// has no BOUNDS file yet and runs on the default table until its first
+// rebalance — and new stores are written at version 2.
 type manifest struct {
 	Version   int    `json:"version"`
 	Shards    int    `json:"shards"`
@@ -146,7 +151,11 @@ type manifest struct {
 	KeyBits   int    `json:"key_bits"`
 }
 
-const manifestName = "MANIFEST"
+const (
+	manifestName       = "MANIFEST"
+	manifestVersion    = 2
+	manifestVersionMin = 1
+)
 
 func partitionString(p shard.Partition) string {
 	if p == shard.RangePartition {
@@ -156,23 +165,31 @@ func partitionString(p shard.Partition) string {
 }
 
 // ensureManifest validates dir's manifest against opts, writing a fresh
-// one (atomically) if none exists yet.
+// one (atomically) if none exists yet. An older-version manifest with
+// matching geometry is upgraded in place: this binary is about to write
+// state the old format cannot express (version-2 WAL segments, the BOUNDS
+// sidecar), and bumping the manifest makes an old binary refuse the store
+// outright instead of silently discarding the new segments as invalid.
 func ensureManifest(o Options) error {
 	path := filepath.Join(o.Dir, manifestName)
-	want := manifest{Version: 1, Shards: o.Shards, Partition: partitionString(o.Partition), KeyBits: o.KeyBits}
+	want := manifest{Version: manifestVersion, Shards: o.Shards, Partition: partitionString(o.Partition), KeyBits: o.KeyBits}
 	data, err := os.ReadFile(path)
 	if err == nil {
 		var got manifest
 		if err := json.Unmarshal(data, &got); err != nil {
 			return fmt.Errorf("persist: corrupt manifest %s: %w", path, err)
 		}
-		if got != want {
+		if got.Version < manifestVersionMin || got.Version > manifestVersion {
+			return fmt.Errorf("persist: store at %s has unsupported manifest version %d", o.Dir, got.Version)
+		}
+		if got.Shards != want.Shards || got.Partition != want.Partition || got.KeyBits != want.KeyBits {
 			return fmt.Errorf("persist: store at %s holds a %d-shard %s/%d-bit set; asked to open it as %d-shard %s/%d-bit",
 				o.Dir, got.Shards, got.Partition, got.KeyBits, want.Shards, want.Partition, want.KeyBits)
 		}
-		return nil
-	}
-	if !os.IsNotExist(err) {
+		if got.Version == manifestVersion {
+			return nil
+		}
+	} else if !os.IsNotExist(err) {
 		return err
 	}
 	blob, err := json.Marshal(want)

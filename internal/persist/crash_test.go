@@ -208,7 +208,7 @@ func TestKillPointDifferential(t *testing.T) {
 					t.Fatalf("shard %d: %d WAL records, model projects %d sub-batches", p, len(recs), len(subs))
 				}
 				for i, rec := range recs {
-					if rec.remove != subs[i].remove || !slices.Equal(rec.keys, subs[i].keys) {
+					if rec.remove() != subs[i].remove || !slices.Equal(rec.keys, subs[i].keys) {
 						t.Fatalf("shard %d record %d does not match projected sub-batch", p, i)
 					}
 				}

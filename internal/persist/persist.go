@@ -15,17 +15,44 @@
 // # On-disk layout
 //
 //	dir/MANIFEST                     set geometry (shards, partition, ...)
+//	dir/BOUNDS                       live span boundary table + generation
+//	                                 (absent until the first rebalance)
 //	dir/shard-NNNN/wal-<seq20>.log   WAL segments; <seq20> is the sequence
 //	                                 number of the segment's first record
 //	dir/shard-NNNN/ckpt-<seq20>.ckpt slab checkpoints; <seq20> is the last
 //	                                 record sequence the state reflects
 //
 // Every WAL record frames one applied batch: a little-endian length and
-// CRC32C header, then kind (insert/remove), the record's per-shard
-// sequence number, and the sorted keys varint-delta encoded. Checkpoint
-// files wrap a cpma slab (itself CRC-guarded) in a header naming the
-// shard and covered sequence, with a whole-file CRC32C trailer. All
-// formats are versioned via magics; readers reject unknown versions.
+// CRC32C header, then kind (insert/remove/moveIn/moveOut), the record's
+// per-shard sequence number, the router generation (barrier kinds only),
+// and the sorted keys varint-delta encoded. Checkpoint files wrap a cpma
+// slab (itself CRC-guarded) in a header naming the shard and covered
+// sequence, with a whole-file CRC32C trailer. All formats are versioned
+// via magics; readers reject unknown versions. The manifest records the
+// immutable creation-time geometry (version 2; version-1 stores, from
+// before rebalancing, still open); the BOUNDS sidecar records the live,
+// generation-stamped boundary table that rebalancing rewrites.
+//
+// # Rebalance barriers
+//
+// A live boundary move relocates keys between two shards outside the
+// normal batch flow, so it is journaled as its own three-step barrier
+// (Store.Rebalanced), each step forced to disk before the next:
+//
+//  1. a moveIn record (the moved keys) in the destination's WAL, fsynced;
+//  2. the new boundary table, atomically replacing dir/BOUNDS;
+//  3. a moveOut record in the source's WAL, fsynced.
+//
+// Replay treats the barrier records as the insert/remove batches they
+// encode, and recovery finishes with span enforcement: any key held by a
+// shard that does not own it under the recovered boundary table is
+// dropped. The ordering makes every crash point exact — before step 2
+// the old table still routes the moved keys to the source (whose removal
+// was never logged), so a surviving destination copy is dropped as
+// out-of-span; after step 2 the new table routes them to the destination
+// (whose record step 1 made durable first), so a lingering source copy
+// is dropped instead. Keys are never lost, only transiently owned twice,
+// and recovery always lands on exactly the pre- or post-move state.
 //
 // # Durability contract
 //
@@ -97,6 +124,13 @@ type Options struct {
 	// set would scatter keys to the wrong shards.
 	Partition shard.Partition
 	KeyBits   int
+	// Bounds seeds the RangePartition boundary table of a fresh store (nil
+	// = default equal-width spans). Once the store exists, the journaled
+	// BOUNDS sidecar is authoritative — rebalancing rewrites it — and an
+	// explicit seed that contradicts it is rejected like any other
+	// geometry mismatch. BoundsGen seeds the router generation.
+	Bounds    []uint64
+	BoundsGen uint64
 }
 
 func (o Options) withDefaults() (Options, error) {

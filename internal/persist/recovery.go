@@ -123,7 +123,12 @@ func (st *Store) recoverShard(sh *storeShard) (*cpma.CPMA, error) {
 			}
 			chain = rec.seq
 			if rec.seq > base && len(rec.keys) > 0 {
-				if rec.remove {
+				// Rebalance barriers replay like the batches they encode: a
+				// recMoveIn inserts the keys the move carried in, a
+				// recMoveOut removes the keys it carried out. Cross-shard
+				// agreement (the other half of the pair, possibly cut off by
+				// the crash) is restored by Open's span enforcement.
+				if rec.remove() {
 					set.RemoveBatch(rec.keys, true)
 				} else {
 					set.InsertBatch(rec.keys, true)
@@ -170,6 +175,46 @@ func (st *Store) recoverShard(sh *storeShard) (*cpma.CPMA, error) {
 		return nil, err
 	}
 	return set, nil
+}
+
+// dropOutOfSpan removes from a recovered shard every key outside its span
+// under the authoritative boundary table, returning how many were
+// dropped. Nonzero only after a crash inside a rebalance barrier, where
+// the moved keys can transiently exist in both shards of the pair; the
+// copy in the shard that does not own them under the recovered table is
+// the stale one (the barrier protocol's ordering guarantees the owning
+// shard's copy is durable).
+func dropOutOfSpan(set *cpma.CPMA, p, shards int, bounds []uint64) int {
+	var lo, hi uint64
+	if p > 0 {
+		lo = bounds[p-1]
+	}
+	if p < shards-1 {
+		hi = bounds[p]
+	}
+	var stale []uint64
+	if lo > 1 {
+		set.MapRange(1, lo, func(k uint64) bool {
+			stale = append(stale, k)
+			return true
+		})
+	}
+	if p < shards-1 {
+		if hi == 0 {
+			hi = 1 // keys are nonzero; an all-empty tail span owns nothing
+		}
+		set.MapRange(hi, ^uint64(0), func(k uint64) bool {
+			stale = append(stale, k)
+			return true
+		})
+		if set.Has(^uint64(0)) {
+			stale = append(stale, ^uint64(0))
+		}
+	}
+	if len(stale) == 0 {
+		return 0
+	}
+	return set.RemoveBatch(stale, true)
 }
 
 // truncateFile cuts path to size bytes and forces the new length down.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -48,12 +49,21 @@ type Store struct {
 	ckpts      atomic.Uint64
 	ckptBytes  atomic.Uint64
 	truncSegs  atomic.Uint64
+	moveRecs   atomic.Uint64
+	movedKeys  atomic.Uint64
+
+	// The recovered boundary table (nil = default equal-width spans) and
+	// its router generation. Written once by Open; Rebalanced advances the
+	// on-disk table but callers read these only at open time (Bounds).
+	bounds    []uint64
+	boundsGen uint64
 
 	// Recovery counters, written once by Open before any concurrency.
 	recoveredKeys   uint64
 	replayedBatches uint64
 	replayedKeys    uint64
 	tornBytes       uint64
+	droppedKeys     uint64
 }
 
 // storeShard is one shard's persistence state.
@@ -122,6 +132,9 @@ func Open(opts Options) (*Store, []*cpma.CPMA, error) {
 	if err := ensureManifest(o); err != nil {
 		return nil, nil, err
 	}
+	if err := st.recoverBounds(o); err != nil {
+		return nil, nil, err
+	}
 	sets := make([]*cpma.CPMA, o.Shards)
 	for p := range st.shards {
 		sh := &storeShard{id: p, dir: filepath.Join(o.Dir, shardDirName(p))}
@@ -134,6 +147,23 @@ func Open(opts Options) (*Store, []*cpma.CPMA, error) {
 		}
 		st.shards[p] = sh
 		sets[p] = set
+	}
+	// Span enforcement: a crash inside a rebalance barrier can leave the
+	// moved keys present in both shards of the pair (the protocol orders
+	// its three durable steps so keys are never lost, only briefly owned
+	// twice). The authoritative boundary table decides ownership — drop
+	// every key from shards that no longer own it, restoring exactly the
+	// pre- or post-move state.
+	if o.Partition == shard.RangePartition && o.Shards > 1 {
+		bounds := st.bounds
+		if bounds == nil {
+			bounds = shard.DefaultBounds(o.KeyBits, o.Shards)
+		}
+		for p, set := range sets {
+			st.droppedKeys += uint64(dropOutOfSpan(set, p, o.Shards, bounds))
+		}
+	}
+	for _, set := range sets {
 		st.recoveredKeys += uint64(set.Len()) // replay included; see recoverShard
 	}
 	st.wg.Add(1)
@@ -141,6 +171,37 @@ func Open(opts Options) (*Store, []*cpma.CPMA, error) {
 	opened = true
 	return st, sets, nil
 }
+
+// recoverBounds loads the durable boundary table (if any) and reconciles
+// it with the caller-supplied seed: the stored table always wins — it is
+// what the journaled history was routed against — and an explicit seed
+// that contradicts it is a geometry error, like a manifest mismatch. A
+// fresh store with an explicit seed persists it immediately, so a crash
+// before the first rebalance still recovers against the right spans.
+func (st *Store) recoverBounds(o Options) error {
+	stored, gen, ok, err := loadBounds(o.Dir, o.Shards)
+	if err != nil {
+		return err
+	}
+	if ok {
+		if o.Bounds != nil && !slices.Equal(o.Bounds, stored) {
+			return fmt.Errorf("persist: store at %s has a journaled boundary table (gen %d) that differs from Options.Bounds", o.Dir, gen)
+		}
+		st.bounds, st.boundsGen = stored, gen
+		return nil
+	}
+	if o.Bounds != nil && o.Partition == shard.RangePartition {
+		if err := writeBounds(o.Dir, o.BoundsGen, o.Bounds); err != nil {
+			return err
+		}
+		st.bounds, st.boundsGen = o.Bounds, o.BoundsGen
+	}
+	return nil
+}
+
+// Bounds returns the recovered boundary table and its router generation;
+// a nil table means the default equal-width spans. Valid after Open.
+func (st *Store) Bounds() ([]uint64, uint64) { return st.bounds, st.boundsGen }
 
 // acquireLock takes a non-blocking exclusive flock on dir/LOCK.
 func (st *Store) acquireLock() error {
@@ -185,12 +246,18 @@ func OpenSharded(shards int, sopts *shard.Options) (*shard.Sharded, *Store, erro
 		Set:                    so.Set,
 		Partition:              so.Partition,
 		KeyBits:                so.KeyBits,
+		Bounds:                 so.Bounds,
+		BoundsGen:              so.BoundsGen,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	so.Async = true
 	so.Journal = st
+	// The restarted router must route against the spans recovery replayed
+	// (and span-enforced) the shards with, and new rebalances must extend
+	// the journaled generation sequence.
+	so.Bounds, so.BoundsGen = st.Bounds()
 	return shard.NewFrom(sets, &so), st, nil
 }
 
@@ -211,22 +278,21 @@ func (st *Store) Err() error {
 	return st.firstErr
 }
 
-// Append logs one sorted batch for shard p ahead of its apply
-// (shard.Journal). Group commit: the record lands in the segment's buffer
-// immediately and the file is fsynced once SyncEvery records or SyncBytes
-// bytes accumulate.
-func (st *Store) Append(p int, remove bool, keys []uint64) error {
+// appendKind frames and appends one record of the given kind to shard p's
+// log, honoring the group-commit knobs. Returns the record's sequence
+// number.
+func (st *Store) appendKind(p int, kind byte, gen uint64, keys []uint64) (uint64, error) {
 	if st.closed.Load() {
-		return st.fail(fmt.Errorf("persist: append on closed store"))
+		return 0, st.fail(fmt.Errorf("persist: append on closed store"))
 	}
 	sh := st.shards[p]
 	sh.mu.Lock()
 	seq := sh.seq.Load() + 1
-	sh.encBuf = appendRecord(sh.encBuf[:0], seq, remove, keys)
+	sh.encBuf = appendRecord(sh.encBuf[:0], seq, kind, gen, keys)
 	frameLen := len(sh.encBuf)
 	if err := sh.seg.append(sh.encBuf); err != nil {
 		sh.mu.Unlock()
-		return st.fail(err)
+		return 0, st.fail(err)
 	}
 	sh.seq.Store(seq)
 	sh.pendingRecs++
@@ -235,21 +301,75 @@ func (st *Store) Append(p int, remove bool, keys []uint64) error {
 		(st.opt.SyncBytes > 0 && sh.pendingBytes >= st.opt.SyncBytes) {
 		if err := st.syncLocked(sh); err != nil {
 			sh.mu.Unlock()
-			return st.fail(err)
+			return 0, st.fail(err)
 		}
 	}
 	sh.mu.Unlock()
+	st.appBytes.Add(uint64(frameLen))
+	return seq, nil
+}
 
+// Append logs one sorted batch for shard p ahead of its apply
+// (shard.Journal). Group commit: the record lands in the segment's buffer
+// immediately and the file is fsynced once SyncEvery records or SyncBytes
+// bytes accumulate.
+func (st *Store) Append(p int, remove bool, keys []uint64) error {
+	kind := byte(recInsert)
+	if remove {
+		kind = recRemove
+	}
+	seq, err := st.appendKind(p, kind, 0, keys)
+	if err != nil {
+		return err
+	}
 	st.appBatches.Add(1)
 	st.appKeys.Add(uint64(len(keys)))
-	st.appBytes.Add(uint64(frameLen))
 	if st.opt.CheckpointEveryBatches > 0 &&
-		seq-sh.ckptSeq.Load() >= uint64(st.opt.CheckpointEveryBatches) {
+		seq-st.shards[p].ckptSeq.Load() >= uint64(st.opt.CheckpointEveryBatches) {
 		select {
 		case st.ckptReq <- struct{}{}:
 		default:
 		}
 	}
+	return nil
+}
+
+// Rebalanced journals one boundary move (shard.Journal): keys moved from
+// shard src to shard dst under the new boundary table at router
+// generation gen. Three durable steps, strictly ordered:
+//
+//  1. A recMoveIn barrier (the keys, as an insert) in dst's log, fsynced.
+//  2. The new boundary table in the BOUNDS sidecar, atomically replaced.
+//  3. A recMoveOut barrier (the keys, as a removal) in src's log, fsynced.
+//
+// Every crash point recovers exactly: before 2 the old table routes the
+// keys to src (which never logged their removal), so recovery drops the
+// dst copy if step 1's record landed; after 2 the new table routes them
+// to dst (whose record is durable — step 1 completed), so recovery drops
+// the src copy until step 3's removal is on disk. Either way the key set
+// is intact and span-consistent — recovery's out-of-span enforcement is
+// what collapses the transient double ownership.
+//
+// Called by the rebalancer with both shards' writers quiesced, so the
+// appends cannot interleave with writer-side Appends on these logs.
+func (st *Store) Rebalanced(src, dst int, keys []uint64, gen uint64, bounds []uint64) error {
+	if _, err := st.appendKind(dst, recMoveIn, gen, keys); err != nil {
+		return err
+	}
+	if err := st.Synced(dst); err != nil {
+		return err
+	}
+	if err := writeBounds(st.dir, gen, bounds); err != nil {
+		return st.fail(err)
+	}
+	if _, err := st.appendKind(src, recMoveOut, gen, keys); err != nil {
+		return err
+	}
+	if err := st.Synced(src); err != nil {
+		return err
+	}
+	st.moveRecs.Add(2)
+	st.movedKeys.Add(uint64(len(keys)))
 	return nil
 }
 
@@ -301,10 +421,13 @@ func (st *Store) Stats() shard.PersistStats {
 		Checkpoints:       st.ckpts.Load(),
 		CheckpointBytes:   st.ckptBytes.Load(),
 		TruncatedSegments: st.truncSegs.Load(),
+		MoveRecords:       st.moveRecs.Load(),
+		MovedKeys:         st.movedKeys.Load(),
 		RecoveredKeys:     st.recoveredKeys,
 		ReplayedBatches:   st.replayedBatches,
 		ReplayedKeys:      st.replayedKeys,
 		TornBytes:         st.tornBytes,
+		DroppedKeys:       st.droppedKeys,
 	}
 }
 

@@ -21,8 +21,14 @@ import (
 const SegmentHeaderBytes = 8 + 4 + 4
 
 const (
-	segMagic      = "CPMAWAL1"
-	walVersion    = 1
+	segMagic = "CPMAWAL1"
+	// walVersion is the version stamped into new segments. Version 2 added
+	// the rebalance barrier record kinds (recMoveIn/recMoveOut, which carry
+	// a router generation after the sequence number); version 1 segments
+	// are still read — they simply predate rebalancing and contain only
+	// insert/remove records.
+	walVersion    = 2
+	walVersionMin = 1
 	segHeaderSize = SegmentHeaderBytes
 
 	recHeaderSize  = 8 // payload length u32, payload CRC32C u32
@@ -30,23 +36,43 @@ const (
 
 	recInsert = 1
 	recRemove = 2
+	// Rebalance barrier records: the keys a boundary move carried into
+	// (recMoveIn) or out of (recMoveOut) this shard, stamped with the
+	// router generation the move produced. Replay applies them as an
+	// insert/remove batch; the ordered barrier protocol (see Rebalanced)
+	// plus recovery's span enforcement make any crash point land on
+	// exactly the pre- or post-move state.
+	recMoveIn  = 3
+	recMoveOut = 4
 )
+
+// recKindValid reports whether kind is a known record kind.
+func recKindValid(kind byte) bool {
+	return kind >= recInsert && kind <= recMoveOut
+}
+
+// recRemoves reports whether a record kind replays as a removal.
+func recRemoves(kind byte) bool { return kind == recRemove || kind == recMoveOut }
+
+// recHasGen reports whether the record layout carries a router generation
+// between the sequence number and the key count.
+func recHasGen(kind byte) bool { return kind == recMoveIn || kind == recMoveOut }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // appendRecord appends one framed WAL record to dst and returns the
 // extended slice. Keys must be sorted ascending (duplicates allowed, as in
 // a coalesced merge); they are delta encoded with stdlib uvarints, the
-// first delta taken from zero.
-func appendRecord(dst []byte, seq uint64, remove bool, keys []uint64) []byte {
+// first delta taken from zero. gen is written only for barrier kinds
+// (recHasGen).
+func appendRecord(dst []byte, seq uint64, kind byte, gen uint64, keys []uint64) []byte {
 	start := len(dst)
 	dst = append(dst, make([]byte, recHeaderSize)...)
-	kind := byte(recInsert)
-	if remove {
-		kind = recRemove
-	}
 	dst = append(dst, kind)
 	dst = binary.AppendUvarint(dst, seq)
+	if recHasGen(kind) {
+		dst = binary.AppendUvarint(dst, gen)
+	}
 	dst = binary.AppendUvarint(dst, uint64(len(keys)))
 	prev := uint64(0)
 	for _, k := range keys {
@@ -64,12 +90,15 @@ func appendRecord(dst []byte, seq uint64, remove bool, keys []uint64) []byte {
 // decodeRecord alone) — recovery truncates at start when a record must be
 // rejected for reasons the CRC cannot see, like a sequence gap.
 type walRecord struct {
-	seq    uint64
-	remove bool
-	keys   []uint64
-	start  int64
-	end    int64
+	seq   uint64
+	kind  byte
+	gen   uint64 // router generation (barrier records only)
+	keys  []uint64
+	start int64
+	end   int64
 }
+
+func (r walRecord) remove() bool { return recRemoves(r.kind) }
 
 // decodeRecord parses a CRC-verified payload. Strict: trailing bytes,
 // short varints, or a count that cannot fit are errors.
@@ -78,19 +107,24 @@ func decodeRecord(payload []byte) (walRecord, error) {
 	if len(payload) < 1 {
 		return r, fmt.Errorf("persist: empty record payload")
 	}
-	switch payload[0] {
-	case recInsert:
-	case recRemove:
-		r.remove = true
-	default:
+	if !recKindValid(payload[0]) {
 		return r, fmt.Errorf("persist: bad record kind %d", payload[0])
 	}
+	r.kind = payload[0]
 	b := payload[1:]
 	seq, n := binary.Uvarint(b)
 	if n <= 0 {
 		return r, fmt.Errorf("persist: bad record seq varint")
 	}
 	b = b[n:]
+	if recHasGen(r.kind) {
+		gen, n := binary.Uvarint(b)
+		if n <= 0 {
+			return r, fmt.Errorf("persist: bad record gen varint")
+		}
+		r.gen = gen
+		b = b[n:]
+	}
 	count, n := binary.Uvarint(b)
 	if n <= 0 {
 		return r, fmt.Errorf("persist: bad record count varint")
@@ -187,7 +221,8 @@ func scanSegment(path string, shardID int) (recs []walRecord, validEnd int64, he
 		return nil, 0, false, err
 	}
 	if len(data) < segHeaderSize || string(data[:8]) != segMagic ||
-		binary.LittleEndian.Uint32(data[8:]) != walVersion ||
+		binary.LittleEndian.Uint32(data[8:]) < walVersionMin ||
+		binary.LittleEndian.Uint32(data[8:]) > walVersion ||
 		binary.LittleEndian.Uint32(data[12:]) != uint32(shardID) {
 		return nil, 0, false, nil
 	}

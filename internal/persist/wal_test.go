@@ -17,14 +17,18 @@ func TestRecordRoundTrip(t *testing.T) {
 	}
 	for i, keys := range cases {
 		for _, remove := range []bool{false, true} {
-			frame := appendRecord(nil, uint64(100+i), remove, keys)
+			kind := byte(recInsert)
+			if remove {
+				kind = recRemove
+			}
+			frame := appendRecord(nil, uint64(100+i), kind, 0, keys)
 			plen := binary.LittleEndian.Uint32(frame)
 			rec, err := decodeRecord(frame[recHeaderSize : recHeaderSize+int(plen)])
 			if err != nil {
 				t.Fatalf("case %d: decode: %v", i, err)
 			}
-			if rec.seq != uint64(100+i) || rec.remove != remove {
-				t.Fatalf("case %d: got seq=%d remove=%v", i, rec.seq, rec.remove)
+			if rec.seq != uint64(100+i) || rec.remove() != remove {
+				t.Fatalf("case %d: got seq=%d remove=%v", i, rec.seq, rec.remove())
 			}
 			if !slices.Equal(rec.keys, keys) && !(len(keys) == 0 && len(rec.keys) == 0) {
 				t.Fatalf("case %d: keys %v != %v", i, rec.keys, keys)
@@ -34,7 +38,7 @@ func TestRecordRoundTrip(t *testing.T) {
 }
 
 func TestDecodeRecordRejectsMalformed(t *testing.T) {
-	frame := appendRecord(nil, 5, false, []uint64{10, 20})
+	frame := appendRecord(nil, 5, recInsert, 0, []uint64{10, 20})
 	payload := frame[recHeaderSize:]
 	cases := map[string][]byte{
 		"empty":          {},
@@ -63,7 +67,7 @@ func writeTestSegment(t *testing.T, dir string, shardID int, firstSeq uint64, ba
 		t.Fatal(err)
 	}
 	for i, keys := range batches {
-		if err := sg.append(appendRecord(nil, firstSeq+uint64(i), false, keys)); err != nil {
+		if err := sg.append(appendRecord(nil, firstSeq+uint64(i), recInsert, 0, keys)); err != nil {
 			t.Fatal(err)
 		}
 	}

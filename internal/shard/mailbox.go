@@ -25,21 +25,26 @@ const (
 	opInsert opKind = iota
 	opRemove
 	opFlush
+	opQuiesce
 )
 
 // shardOp is one mailbox entry: a sorted sub-batch destined for the
-// owning shard (opInsert/opRemove), or a flush token (opFlush). keys must
-// not be read after the op's apply completes: fire-and-forget enqueues
-// hand over copies the pipeline owns outright, but ticketed ops may alias
-// the caller's slice, which the caller is free to reuse the moment its
-// ticket completes (asyncSplit documents the ownership matrix). A non-nil
-// ticket makes the op synchronous: the writer applies it individually
-// (for an exact fresh/removed count) and completes the ticket;
-// ticket-free ops are the coalescable fast path.
+// owning shard (opInsert/opRemove), a flush token (opFlush), or a
+// rebalancer quiesce token (opQuiesce). keys must not be read after the
+// op's apply completes: fire-and-forget enqueues hand over copies the
+// pipeline owns outright, but ticketed ops may alias the caller's slice,
+// which the caller is free to reuse the moment its ticket completes
+// (asyncSplit documents the ownership matrix). A non-nil ticket makes the
+// op synchronous: the writer applies it individually (for an exact
+// fresh/removed count) and completes the ticket; ticket-free ops are the
+// coalescable fast path. A quiesce token parks the writer — it completes
+// the ticket and then blocks until resume is closed, leaving the
+// rebalancer as the shard's sole mutator for the interim.
 type shardOp struct {
-	kind opKind
-	keys []uint64
-	tk   *ticket
+	kind   opKind
+	keys   []uint64
+	tk     *ticket
+	resume chan struct{}
 }
 
 // ticket is a completion barrier shared by the per-shard sub-ops of one
@@ -185,7 +190,7 @@ func (s *Sharded) writer(p int) {
 		// snapshot captures never wait on (or block) the apply path. The
 		// final drain before exit publishes too, so a Snapshot taken after
 		// Close sees the fully drained state.
-		sn := s.publish(c)
+		sn := s.publish(p, c)
 		// The journal learns the published handle after every drain: it is
 		// the immutable state a checkpoint can serialize, covering every
 		// record appended so far (this goroutine appended them all).
@@ -216,7 +221,7 @@ func (s *Sharded) applyPending(p int, c *cell, ws *writerScratch) {
 			// the token is also the durability barrier — hand the journal
 			// the fresh handle and force its log to disk before anyone
 			// waiting on the Flush is released.
-			sn := s.publish(c)
+			sn := s.publish(p, c)
 			if j := s.opt.Journal; j != nil {
 				j.Published(p, sn.set)
 				if err := j.Synced(p); err != nil {
@@ -224,6 +229,21 @@ func (s *Sharded) applyPending(p int, c *cell, ws *writerScratch) {
 				}
 			}
 			op.tk.complete(0)
+			i++
+		case op.kind == opQuiesce:
+			// Park for the rebalancer: publish the rest-point state (the
+			// pre-move handle other shards' captures may still pair with),
+			// signal arrival, and block. Everything drained before this
+			// token has been applied; nothing can follow it in the mailbox
+			// because the rebalancer holds the enqueue-side lifecycle lock
+			// while it is outstanding. Until resume closes, the rebalancer
+			// is this shard's sole mutator.
+			sn := s.publish(p, c)
+			if j := s.opt.Journal; j != nil {
+				j.Published(p, sn.set)
+			}
+			op.tk.complete(0)
+			<-op.resume
 			i++
 		case op.tk != nil:
 			op.tk.complete(s.applyOne(p, c, op.kind, op.keys))

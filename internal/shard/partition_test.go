@@ -1,0 +1,203 @@
+package shard
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestShardSpanDegenerateRanges is the regression test for the
+// end-underflow bug: shardSpan used to compute shardOf(end-1), which
+// wrapped to ^uint64(0) when end == 0 (and covered the whole span
+// whenever end <= start), turning an empty range into a full-span scan.
+// Degenerate ranges must now yield an empty shard interval at the router
+// and empty results on every live and snapshot read path.
+func TestShardSpanDegenerateRanges(t *testing.T) {
+	degenerate := [][2]uint64{
+		{1, 0}, {5, 0}, {^uint64(0), 0}, // end == 0: the underflow case
+		{0, 0}, {7, 7}, {^uint64(0), ^uint64(0)}, // empty
+		{9, 3}, {^uint64(0), 1}, // inverted
+	}
+	for name, opt := range configs() {
+		t.Run(name, func(t *testing.T) {
+			s := newTestSet(t, name, opt)
+			s.InsertBatch(workload.Uniform(workload.NewRNG(3), 5000, 16), false)
+			s.Flush()
+			rt := s.router()
+			for _, d := range degenerate {
+				lo, hi := rt.shardSpan(d[0], d[1])
+				if hi >= lo {
+					t.Fatalf("shardSpan(%d, %d) = [%d, %d], want empty", d[0], d[1], lo, hi)
+				}
+			}
+			sn := s.Snapshot()
+			for _, d := range degenerate {
+				if sum, count := s.RangeSum(d[0], d[1]); sum != 0 || count != 0 {
+					t.Fatalf("RangeSum(%d, %d) = %d, %d; want empty", d[0], d[1], sum, count)
+				}
+				if !s.MapRange(d[0], d[1], func(uint64) bool {
+					t.Fatalf("MapRange(%d, %d) visited a key", d[0], d[1])
+					return false
+				}) {
+					t.Fatalf("MapRange(%d, %d) reported early stop", d[0], d[1])
+				}
+				if sum, count := sn.RangeSum(d[0], d[1]); sum != 0 || count != 0 {
+					t.Fatalf("snapshot RangeSum(%d, %d) = %d, %d; want empty", d[0], d[1], sum, count)
+				}
+				if !sn.MapRange(d[0], d[1], func(uint64) bool {
+					t.Fatalf("snapshot MapRange(%d, %d) visited a key", d[0], d[1])
+					return false
+				}) {
+					t.Fatalf("snapshot MapRange(%d, %d) reported early stop", d[0], d[1])
+				}
+			}
+		})
+	}
+}
+
+// routerGeometries builds routing tables across extreme partition
+// geometries: full 64-bit spans, tiny key spaces with more shards than
+// distinct spans, non-power-of-two shard counts, and randomized
+// (rebalanced-looking) boundary tables with empty and duplicate spans.
+func routerGeometries(r *workload.RNG) []*router {
+	var rts []*router
+	for _, g := range []struct{ keyBits, shards int }{
+		{64, 1}, {64, 3}, {64, 5}, {64, 64}, {64, 100},
+		{40, 7}, {16, 9}, {8, 200},
+		{2, 9}, {3, 8}, {1, 5}, // shards > distinct spans
+	} {
+		rts = append(rts, &router{
+			part:    RangePartition,
+			shards:  g.shards,
+			bounds:  defaultBounds(g.keyBits, g.shards),
+			spanGen: make([]uint64, g.shards),
+		})
+		// A randomized table over the same geometry: sorted draws from the
+		// key space, with duplicates (empty spans) kept.
+		if g.shards > 1 {
+			bounds := make([]uint64, g.shards-1)
+			for i := range bounds {
+				bounds[i] = r.Uint64() >> uint(64-g.keyBits)
+			}
+			slices.Sort(bounds)
+			rts = append(rts, &router{
+				part:    RangePartition,
+				shards:  g.shards,
+				bounds:  bounds,
+				spanGen: make([]uint64, g.shards),
+			})
+		}
+	}
+	rts = append(rts, &router{part: HashPartition, shards: 7, spanGen: make([]uint64, 7)})
+	return rts
+}
+
+// TestSplitMatchesShardOf is the property test pinning the satellite fix:
+// split's per-shard search bounds and shardOf's routing must derive from
+// the same boundary table, so every key of every sub-batch must route to
+// the sub-batch's shard — across default and randomized (rebalanced)
+// tables, sorted and unsorted inputs — and the sub-batches must
+// concatenate back to the input. The old fixed-width recomputation
+// (uint64(p+1) * width) drifted from shardOf's clamp on exactly the
+// rounded-up geometries this sweep includes.
+func TestSplitMatchesShardOf(t *testing.T) {
+	r := workload.NewRNG(17)
+	for _, rt := range routerGeometries(r) {
+		for trial := 0; trial < 4; trial++ {
+			n := 1 + r.Intn(3000)
+			keys := make([]uint64, n)
+			for i := range keys {
+				switch r.Intn(4) {
+				case 0: // boundary-adjacent keys stress the search bounds
+					if len(rt.bounds) > 0 {
+						b := rt.bounds[r.Intn(len(rt.bounds))]
+						keys[i] = b + uint64(r.Intn(3)) - 1
+					} else {
+						keys[i] = r.Uint64()
+					}
+				case 1:
+					keys[i] = r.Uint64()
+				default:
+					keys[i] = 1 + r.Uint64()%(1<<20)
+				}
+				if keys[i] == 0 {
+					keys[i] = 1
+				}
+			}
+			for _, sorted := range []bool{false, true} {
+				in := slices.Clone(keys)
+				if sorted {
+					slices.Sort(in)
+				}
+				subs, _ := rt.split(in, sorted)
+				if len(subs) != rt.shards {
+					t.Fatalf("split returned %d sub-batches for %d shards", len(subs), rt.shards)
+				}
+				total := 0
+				for p, sub := range subs {
+					total += len(sub)
+					for _, k := range sub {
+						if got := rt.shardOf(k); got != p {
+							t.Fatalf("shards=%d bounds=%v sorted=%v: key %d in sub-batch %d, shardOf says %d",
+								rt.shards, rt.bounds, sorted, k, p, got)
+						}
+					}
+				}
+				if total != len(in) {
+					t.Fatalf("split dropped keys: %d of %d", total, len(in))
+				}
+				if sorted && rt.part == RangePartition {
+					// Sorted input: sub-batches must concatenate to the input.
+					var cat []uint64
+					for _, sub := range subs {
+						cat = append(cat, sub...)
+					}
+					if !slices.Equal(cat, in) {
+						t.Fatalf("shards=%d: sorted split does not concatenate to input", rt.shards)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDefaultBoundsMatchWidthArithmetic pins the default table to the
+// historical fixed-width routing (int(key/width), clamped), which the
+// persist kill-point harness and every pre-rebalance store on disk rely
+// on.
+func TestDefaultBoundsMatchWidthArithmetic(t *testing.T) {
+	r := workload.NewRNG(23)
+	for _, g := range []struct{ keyBits, shards int }{
+		// shards >= 2: the single-shard router short-circuits before any
+		// width arithmetic (spanWidth(64, 1) wraps to 0 by construction).
+		{64, 3}, {64, 16}, {40, 5}, {16, 9}, {2, 9}, {8, 200},
+	} {
+		rt := &router{
+			part:    RangePartition,
+			shards:  g.shards,
+			bounds:  defaultBounds(g.keyBits, g.shards),
+			spanGen: make([]uint64, g.shards),
+		}
+		w := spanWidth(g.keyBits, g.shards)
+		for i := 0; i < 20000; i++ {
+			k := r.Uint64()
+			if g.keyBits < 64 && i%2 == 0 {
+				k >>= uint(64 - g.keyBits)
+			}
+			// Unsigned quotient with the clamp applied before the int
+			// conversion: the historical code converted first, which
+			// overflowed int for tiny key spaces (keyBits=2 leaves width 1,
+			// so a 64-bit key's quotient exceeds int64) — another latent
+			// fixed-width bug the boundary table removes.
+			want := g.shards - 1
+			if q := k / w; q < uint64(g.shards) {
+				want = int(q)
+			}
+			if got := rt.shardOf(k); got != want {
+				t.Fatalf("keyBits=%d shards=%d: shardOf(%d) = %d, width arithmetic says %d",
+					g.keyBits, g.shards, k, got, want)
+			}
+		}
+	}
+}

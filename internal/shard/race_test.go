@@ -6,9 +6,11 @@ package shard
 // detector they still verify convergence.
 
 import (
+	"slices"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/workload"
 )
@@ -216,6 +218,107 @@ func TestConcurrentInsertRemoveConverge(t *testing.T) {
 		if !s.Has(k) {
 			t.Fatalf("key %d in Keys but Has is false", k)
 		}
+	}
+}
+
+// TestRebalanceRace hammers live boundary moves against everything at
+// once: concurrent async writers streaming maximally skewed disjoint
+// insert streams (sequential keys — the worst case for RangePartition),
+// readers, snapshotters, a flusher, the background monitor, and a
+// goroutine spamming manual sweeps. Because the writers' streams are
+// disjoint inserts, the final state is exact: every key must survive
+// every boundary handoff. Meaningful mostly under -race; without the
+// detector it still verifies that no key is lost or duplicated across
+// concurrent rebalances.
+func TestRebalanceRace(t *testing.T) {
+	const writers, perWriter, bits = 4, 20000, 28
+	s := New(5, &Options{
+		Partition: RangePartition, KeyBits: bits, Async: true, MailboxDepth: 4,
+		Rebalance: true, RebalanceEvery: time.Millisecond, MaxSkew: 1.3,
+	})
+	var wwg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			base := uint64(w*perWriter) + 1
+			batch := make([]uint64, perWriter)
+			for i := range batch {
+				batch[i] = base + uint64(i)
+			}
+			for lo := 0; lo < perWriter; lo += 500 {
+				s.InsertBatch(batch[lo:lo+500], true)
+			}
+		}(w)
+	}
+	var done atomic.Bool
+	var rwg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		rwg.Add(1)
+		go func(g int) {
+			defer rwg.Done()
+			r := workload.NewRNG(uint64(800 + g))
+			for !done.Load() {
+				switch r.Intn(5) {
+				case 0:
+					s.Has(1 + r.Uint64()%(writers*perWriter))
+				case 1:
+					start := r.Uint64() % (writers * perWriter)
+					s.RangeSum(start, start+2048)
+				case 2:
+					s.Len()
+				case 3:
+					sn := s.Snapshot()
+					if n := len(sn.Keys()); n != sn.Len() {
+						t.Errorf("snapshot inconsistent during rebalance: %d keys, Len %d", n, sn.Len())
+						return
+					}
+				default:
+					s.MapRange(1, 4096, func(uint64) bool { return true })
+				}
+			}
+		}(g)
+	}
+	rwg.Add(2)
+	go func() { // flusher
+		defer rwg.Done()
+		for !done.Load() {
+			s.Flush()
+		}
+	}()
+	go func() { // manual sweeps racing the background monitor
+		defer rwg.Done()
+		for !done.Load() {
+			s.RebalanceOnce()
+		}
+	}()
+	wwg.Wait()
+	s.Flush()
+	s.RebalanceOnce()
+	done.Store(true)
+	rwg.Wait()
+	if got := s.Len(); got != writers*perWriter {
+		t.Fatalf("lost or duplicated keys across rebalances: Len = %d, want %d", got, writers*perWriter)
+	}
+	keys := s.Keys()
+	for i, v := range keys {
+		if v != uint64(i)+1 {
+			t.Fatalf("Keys[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+	if ratio, lens := s.LoadRatio(); ratio > 1.5 {
+		t.Fatalf("rebalancer left ratio %.2f (lens %v)", ratio, lens)
+	}
+	if bounds := s.Bounds(); !slices.IsSorted(bounds) {
+		t.Fatalf("boundary table unsorted: %v", bounds)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Post-Close: snapshots and reads still serve the final state.
+	if sn := s.Snapshot(); sn.Len() != writers*perWriter {
+		t.Fatalf("post-Close snapshot Len = %d", sn.Len())
 	}
 }
 

@@ -105,12 +105,40 @@
 // per-shard operation sequence with no extra synchronization on the
 // ingest path. See the persist package for the durability contract and
 // the on-disk formats.
+//
+// # Rebalancing (Options.Rebalance)
+//
+// Under RangePartition a skewed key distribution loads shards unevenly,
+// and the hot shard's single writer becomes the pipeline's bottleneck.
+// Rebalancing makes the span boundaries dynamic: routing is an
+// authoritative sorted boundary table held behind an atomic pointer, and
+// a load monitor (or an explicit RebalanceOnce call) moves the boundary
+// between an overloaded shard and its lighter neighbor. One move
+// quiesces exactly the two affected mailbox writers (a quiesce token
+// parks each writer at a rest point between applies), extracts the
+// pair's keys from their frozen-ordered CPMAs, rebuilds two CPMAs split
+// at the pair's target share, journals the move on a durable set
+// (see the persist package's barrier protocol), installs the new sets
+// and publishes fresh snapshot handles under the pair's write locks, and
+// swaps in a new router generation. Every other shard keeps ingesting
+// throughout; enqueues stall only for the move's duration (the
+// rebalancer holds the enqueue-side lifecycle lock so no batch can be
+// split against one boundary table and mailed against another).
+//
+// The consistency contract survives rebalancing unchanged: multi-shard
+// live reads validate that the router they routed with is still current
+// after acquiring their shard locks (retrying on the rare conflict), and
+// snapshot captures validate every published handle against the router's
+// per-shard span generation, so a capture can never pair a handle from
+// before a boundary move with a routing table from after it (or vice
+// versa). Rebalancing requires the async pipeline and RangePartition.
 package shard
 
 import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cpma"
 	"repro/internal/parallel"
@@ -138,6 +166,17 @@ const (
 	DefaultCoalesceMax  = 1 << 20
 )
 
+// Default rebalancer tuning: the monitor samples per-shard key counts
+// every DefaultRebalanceEvery and moves boundaries while the max/mean
+// ratio exceeds DefaultMaxSkew.
+const (
+	DefaultMaxSkew        = 1.5
+	DefaultRebalanceEvery = 100 * time.Millisecond
+	// minRebalanceKeys is the smallest pair population worth moving a
+	// boundary for; below it skew is noise, not load.
+	minRebalanceKeys = 64
+)
+
 // Options configures a Sharded set.
 type Options struct {
 	// Partition selects the routing policy (default HashPartition).
@@ -146,6 +185,15 @@ type Options struct {
 	// to lie in [1, 2^KeyBits), and keys at or above 2^KeyBits all route to
 	// the last shard. 0 (or >64) means the full 64-bit space.
 	KeyBits int
+	// Bounds seeds the RangePartition boundary table: shards-1 ascending
+	// keys, shard p owning [Bounds[p-1], Bounds[p]). nil selects the
+	// equal-width default over [0, 2^KeyBits). The persist layer uses it to
+	// restart a durable set with the spans its recovery replayed against.
+	Bounds []uint64
+	// BoundsGen seeds the router generation (the persist layer restores the
+	// last journaled rebalance generation so new moves keep the on-disk
+	// generation sequence monotone). 0 for fresh sets.
+	BoundsGen uint64
 	// Set configures each shard's CPMA; nil selects the paper's defaults.
 	Set *cpma.Options
 
@@ -164,6 +212,22 @@ type Options struct {
 	// reading, so reads observe all previously enqueued operations. The
 	// default is read-through: reads see only applied state.
 	FlushReads bool
+
+	// Rebalance starts the live span rebalancer (see the package
+	// documentation): a background monitor samples per-shard key counts and
+	// moves span boundaries between adjacent shards whenever the max/mean
+	// ratio exceeds MaxSkew. Requires Async and RangePartition; New panics
+	// otherwise. RebalanceOnce can always be called manually on an async
+	// range-partitioned set, monitor or not.
+	Rebalance bool
+	// MaxSkew is the rebalance trigger: the monitor moves boundaries while
+	// the max/mean shard key-count ratio exceeds it. 0 means
+	// DefaultMaxSkew; values below 1.1 are clamped to 1.1 (a perfectly flat
+	// target would rebalance forever on rounding noise).
+	MaxSkew float64
+	// RebalanceEvery is the monitor's sampling interval. 0 means
+	// DefaultRebalanceEvery.
+	RebalanceEvery time.Duration
 
 	// Dir, when non-empty, asks for crash durability: a per-shard
 	// write-ahead log plus slab checkpoints rooted at this directory. The
@@ -211,6 +275,15 @@ type Journal interface {
 	Published(p int, set *cpma.CPMA)
 	// Synced forces shard p's log to stable storage.
 	Synced(p int) error
+	// Rebalanced journals one boundary move — keys moved from shard src to
+	// shard dst, producing router generation gen with the given interior
+	// boundary table — as a pair of WAL barrier records plus a durable
+	// boundary-table update, ordered so that every crash point recovers to
+	// exactly the pre- or post-move state (see the persist package). Called
+	// by the rebalancer with both affected writers quiesced, before the
+	// in-memory move is applied (write-ahead); an error is fatal to the
+	// rebalance (it panics, like writer-side Append failures).
+	Rebalanced(src, dst int, keys []uint64, gen uint64, bounds []uint64) error
 	// Checkpoint writes a durable checkpoint for every shard and truncates
 	// obsolete WAL prefixes.
 	Checkpoint() error
@@ -237,10 +310,13 @@ type PersistStats struct {
 	Checkpoints       uint64 // slab checkpoints written
 	CheckpointBytes   uint64 // encoded slab bytes across those checkpoints
 	TruncatedSegments uint64 // WAL segment files deleted behind checkpoints
+	MoveRecords       uint64 // rebalance barrier records appended (two per move)
+	MovedKeys         uint64 // keys carried by rebalance barrier records
 	RecoveredKeys     uint64 // keys in the recovered shards at Open (checkpoint + replay)
 	ReplayedBatches   uint64 // WAL records replayed at Open
 	ReplayedKeys      uint64 // keys across replayed records
 	TornBytes         uint64 // trailing WAL bytes discarded as torn at Open
+	DroppedKeys       uint64 // out-of-span keys dropped by recovery (mid-rebalance crash repair)
 }
 
 // Sub returns the counter deltas st - prev (for measuring one phase).
@@ -253,10 +329,13 @@ func (st PersistStats) Sub(prev PersistStats) PersistStats {
 		Checkpoints:       st.Checkpoints - prev.Checkpoints,
 		CheckpointBytes:   st.CheckpointBytes - prev.CheckpointBytes,
 		TruncatedSegments: st.TruncatedSegments - prev.TruncatedSegments,
+		MoveRecords:       st.MoveRecords - prev.MoveRecords,
+		MovedKeys:         st.MovedKeys - prev.MovedKeys,
 		RecoveredKeys:     st.RecoveredKeys - prev.RecoveredKeys,
 		ReplayedBatches:   st.ReplayedBatches - prev.ReplayedBatches,
 		ReplayedKeys:      st.ReplayedKeys - prev.ReplayedKeys,
 		TornBytes:         st.TornBytes - prev.TornBytes,
+		DroppedKeys:       st.DroppedKeys - prev.DroppedKeys,
 	}
 }
 
@@ -297,13 +376,28 @@ func (c *cell) countOne() {
 type Sharded struct {
 	cells []cell
 	opt   Options
-	rt    router // key -> shard routing (copied by value into snapshots)
+	// rt is the current routing table. Each published *router is immutable;
+	// a rebalance installs a replacement while holding life.Lock and the
+	// affected shards' write locks, so enqueues (which split and mail under
+	// life.RLock) and locked reads (which re-validate the pointer after
+	// acquiring their shard locks) always route against one coherent table.
+	rt atomic.Pointer[router]
 
-	// Async lifecycle: enqueues hold life.RLock while sending; Close takes
-	// life.Lock to set closed, so no send can race the mailbox close.
+	// Async lifecycle: enqueues hold life.RLock while sending; Close and
+	// the rebalancer take life.Lock, so no send can race a mailbox close or
+	// a router swap.
 	life    sync.RWMutex
 	closed  bool
 	writers sync.WaitGroup
+
+	// Rebalancer state: rebalMu serializes moves (monitor vs manual
+	// RebalanceOnce), rebalStop ends the monitor goroutine.
+	rebalMu        sync.Mutex
+	rebalStop      chan struct{}
+	rebalWG        sync.WaitGroup
+	rebalChecks    atomic.Uint64
+	rebalMoves     atomic.Uint64
+	rebalMovedKeys atomic.Uint64
 
 	// Snapshot counters (SnapshotStats).
 	snapCaptures   atomic.Uint64
@@ -351,8 +445,34 @@ func newSharded(shards int, seed []*cpma.CPMA, opts *Options) *Sharded {
 	if o.CoalesceMax <= 0 {
 		o.CoalesceMax = DefaultCoalesceMax
 	}
+	if o.Rebalance && (!o.Async || o.Partition != RangePartition) {
+		panic("shard: Options.Rebalance requires the async pipeline and RangePartition")
+	}
+	if o.MaxSkew <= 0 {
+		o.MaxSkew = DefaultMaxSkew
+	} else if o.MaxSkew < 1.1 {
+		o.MaxSkew = 1.1
+	}
+	if o.RebalanceEvery <= 0 {
+		o.RebalanceEvery = DefaultRebalanceEvery
+	}
 	s := &Sharded{cells: make([]cell, shards), opt: o}
-	s.rt = router{part: o.Partition, width: spanWidth(o.KeyBits, shards), shards: shards}
+	bounds := o.Bounds
+	if o.Partition != RangePartition {
+		bounds = nil
+	} else if bounds == nil {
+		bounds = defaultBounds(o.KeyBits, shards)
+	} else {
+		checkBounds(bounds, shards)
+		bounds = append([]uint64(nil), bounds...) // the router owns its table
+	}
+	s.rt.Store(&router{
+		part:    o.Partition,
+		shards:  shards,
+		bounds:  bounds,
+		gen:     o.BoundsGen,
+		spanGen: make([]uint64, shards),
+	})
 	for i := range s.cells {
 		if seed != nil {
 			s.cells[i].set = seed[i]
@@ -371,6 +491,11 @@ func newSharded(shards int, seed []*cpma.CPMA, opts *Options) *Sharded {
 		for i := range s.cells {
 			go s.writer(i)
 		}
+	}
+	if o.Rebalance && shards > 1 {
+		s.rebalStop = make(chan struct{})
+		s.rebalWG.Add(1)
+		go s.rebalanceMonitor()
 	}
 	return s
 }
@@ -442,20 +567,29 @@ func (s *Sharded) Remove(x uint64) bool {
 	return ok
 }
 
-// Has reports whether x is in the set. Read-locks one shard.
+// Has reports whether x is in the set. Read-locks one shard; if a
+// rebalance moved x's span between routing and locking, the lookup
+// re-routes against the new table (the shard it locked would no longer
+// hold x).
 func (s *Sharded) Has(x uint64) bool {
 	if x == 0 {
 		return false
 	}
-	p := s.shardOf(x)
-	if s.opt.FlushReads {
-		s.flushSpan(p, p)
+	for {
+		rt := s.router()
+		p := rt.shardOf(x)
+		if s.opt.FlushReads {
+			s.flushSpan(p, p)
+		}
+		c := &s.cells[p]
+		c.mu.RLock()
+		if s.router() == rt {
+			ok := c.set.Has(x)
+			c.mu.RUnlock()
+			return ok
+		}
+		c.mu.RUnlock()
 	}
-	c := &s.cells[p]
-	c.mu.RLock()
-	ok := c.set.Has(x)
-	c.mu.RUnlock()
-	return ok
 }
 
 // InsertBatch inserts a batch of keys, returning how many were new. The
@@ -513,14 +647,17 @@ func (s *Sharded) RemoveBatchAsync(keys []uint64, sorted bool) {
 // the point-op path, skipping the scatter machinery entirely — and waits
 // for the apply, reporting whether the key was fresh (insert) or present
 // (remove). The fresh slice keeps the mailbox from aliasing caller memory.
+// Routing happens under life.RLock so a concurrent rebalance (which holds
+// life.Lock for the router swap) cannot strand the key in a shard that no
+// longer owns it.
 func (s *Sharded) enqueueOne(kind opKind, x uint64) bool {
 	tk := newTicket(1)
-	c := &s.cells[s.shardOf(x)]
 	s.life.RLock()
 	if s.closed {
 		s.life.RUnlock()
 		panic("shard: mutation on closed Sharded")
 	}
+	c := &s.cells[s.shardOf(x)]
 	c.enqBatches.Add(1)
 	c.enqKeys.Add(1)
 	c.mbox <- shardOp{kind: kind, keys: []uint64{x}, tk: tk}
@@ -529,12 +666,19 @@ func (s *Sharded) enqueueOne(kind opKind, x uint64) bool {
 }
 
 // enqueue scatters keys into sorted sub-batches and mails each to its
-// shard. With wait set it attaches a completion ticket, blocks until
+// shard, all under life.RLock — the split must use the same boundary
+// table the mailboxes are routed by, and a rebalance excludes itself via
+// life.Lock. With wait set it attaches a completion ticket, blocks until
 // every shard has applied its part, and returns the summed exact count;
 // otherwise it returns 0 as soon as everything is enqueued (see asyncSplit
 // for when sub-batches may alias the caller's slice).
 func (s *Sharded) enqueue(kind opKind, keys []uint64, sorted bool, wait bool) int {
-	subs := s.asyncSplit(keys, sorted, wait)
+	s.life.RLock()
+	if s.closed {
+		s.life.RUnlock()
+		panic("shard: mutation on closed Sharded")
+	}
+	subs := s.asyncSplit(s.router(), keys, sorted, wait)
 	parts := 0
 	for _, sub := range subs {
 		if len(sub) > 0 {
@@ -542,24 +686,12 @@ func (s *Sharded) enqueue(kind opKind, keys []uint64, sorted bool, wait bool) in
 		}
 	}
 	if parts == 0 {
-		// Nothing to mail, but use-after-close is a bug even with an empty
-		// batch — honor the Close contract before returning.
-		s.life.RLock()
-		closed := s.closed
 		s.life.RUnlock()
-		if closed {
-			panic("shard: mutation on closed Sharded")
-		}
 		return 0
 	}
 	var tk *ticket
 	if wait {
 		tk = newTicket(parts)
-	}
-	s.life.RLock()
-	if s.closed {
-		s.life.RUnlock()
-		panic("shard: mutation on closed Sharded")
 	}
 	for p, sub := range subs {
 		if len(sub) == 0 {
@@ -630,6 +762,13 @@ func (s *Sharded) Close() {
 	}
 	s.closed = true
 	s.life.Unlock()
+	// Stop the rebalance monitor first: a move that raced the flag is
+	// already excluded (moves run under life.Lock and abort on closed), so
+	// this only ends the sampling loop.
+	if s.rebalStop != nil {
+		close(s.rebalStop)
+		s.rebalWG.Wait()
+	}
 	// No sender can be in-flight past this point: enqueues take life.RLock
 	// and observe closed. Closing the mailboxes is the writers' drain-and-
 	// exit signal, so Close doubles as a final Flush.
@@ -685,7 +824,9 @@ func (s *Sharded) batch(keys []uint64, sorted bool, apply func(set *cpma.CPMA, s
 	if len(keys) == 0 {
 		return 0
 	}
-	subs, _ := s.split(keys, sorted)
+	// Synchronous sets never rebalance, so one router load covers the whole
+	// scatter-and-apply.
+	subs, _ := s.router().split(keys, sorted)
 	var total atomic.Int64
 	parallel.For(len(subs), 1, func(p int) {
 		sub := subs[p]
@@ -721,7 +862,7 @@ func (s *Sharded) readBarrier() {
 func (s *Sharded) Len() int {
 	s.readBarrier()
 	total := 0
-	s.withCut(0, len(s.cells)-1, func(v cut) { total = v.length() })
+	s.withCut(fullSpan, func(v cut) { total = v.length() })
 	return total
 }
 
@@ -729,7 +870,7 @@ func (s *Sharded) Len() int {
 func (s *Sharded) SizeBytes() uint64 {
 	s.readBarrier()
 	var total uint64
-	s.withCut(0, len(s.cells)-1, func(v cut) { total = v.sizeBytes() })
+	s.withCut(fullSpan, func(v cut) { total = v.sizeBytes() })
 	return total
 }
 
@@ -738,23 +879,25 @@ func (s *Sharded) SizeBytes() uint64 {
 func (s *Sharded) Sum() uint64 {
 	s.readBarrier()
 	var total uint64
-	s.withCut(0, len(s.cells)-1, func(v cut) { total = v.sum() })
+	s.withCut(fullSpan, func(v cut) { total = v.sum() })
 	return total
 }
 
 // RangeSum sums keys in [start, end) over one atomic cut of the
 // overlapping shards. Under RangePartition only the span's shards are
 // locked and read; under HashPartition every shard is, in parallel (order
-// is irrelevant for a sum).
+// is irrelevant for a sum). Degenerate ranges (end <= start) are empty.
 func (s *Sharded) RangeSum(start, end uint64) (sum uint64, count int) {
 	if start >= end {
 		return 0, 0
 	}
-	lo, hi := s.shardSpan(start, end)
-	if s.opt.FlushReads {
-		s.flushSpan(lo, hi)
-	}
-	s.withCut(lo, hi, func(v cut) { sum, count = v.rangeSum(start, end) })
+	s.withCut(func(rt *router) (int, int) {
+		lo, hi := rt.shardSpan(start, end)
+		if s.opt.FlushReads && hi >= lo {
+			s.flushSpan(lo, hi)
+		}
+		return lo, hi
+	}, func(v cut) { sum, count = v.rangeSum(start, end) })
 	return sum, count
 }
 
@@ -762,16 +905,18 @@ func (s *Sharded) RangeSum(start, end uint64) (sum uint64, count int) {
 // atomic cut — the merge cannot skip a key that a concurrent writer moved
 // into view mid-read, which per-shard re-querying could.
 func (s *Sharded) Next(x uint64) (uint64, bool) {
-	lo := 0
-	if s.opt.Partition == RangePartition {
-		lo = s.shardOf(x)
-	}
-	if s.opt.FlushReads {
-		s.flushSpan(lo, len(s.cells)-1)
-	}
 	var best uint64
 	var found bool
-	s.withCut(lo, len(s.cells)-1, func(v cut) { best, found = v.next(x) })
+	s.withCut(func(rt *router) (int, int) {
+		lo := 0
+		if rt.part == RangePartition {
+			lo = rt.shardOf(x)
+		}
+		if s.opt.FlushReads {
+			s.flushSpan(lo, rt.shards-1)
+		}
+		return lo, rt.shards - 1
+	}, func(v cut) { best, found = v.next(x) })
 	return best, found
 }
 
@@ -785,34 +930,37 @@ func (s *Sharded) Max() (uint64, bool) {
 	s.readBarrier()
 	var best uint64
 	var found bool
-	s.withCut(0, len(s.cells)-1, func(v cut) { best, found = v.max() })
+	s.withCut(fullSpan, func(v cut) { best, found = v.max() })
 	return best, found
 }
 
 // MapRange applies f to keys in [start, end) in ascending order over one
 // atomic cut of the overlapping shards, stopping early when f returns
-// false; reports whether the scan completed. Under RangePartition the
-// span's shards stream in key order with all of the span's read locks held
-// and f running under them — f must not call back into this Sharded, or it
-// can deadlock against a waiting writer. Under HashPartition the whole
-// range is gathered from every shard in parallel under the cut and merged
-// (so early exits still pay the full gather), and f runs lock-free.
+// false; reports whether the scan completed. Degenerate ranges (end <=
+// start) complete immediately. Under RangePartition the span's shards
+// stream in key order with all of the span's read locks held and f running
+// under them — f must not call back into this Sharded, or it can deadlock
+// against a waiting writer. Under HashPartition the whole range is
+// gathered from every shard in parallel under the cut and merged (so early
+// exits still pay the full gather), and f runs lock-free.
 func (s *Sharded) MapRange(start, end uint64, f func(uint64) bool) bool {
 	if start >= end {
 		return true
 	}
 	if s.opt.Partition == RangePartition {
-		lo, hi := s.shardSpan(start, end)
-		if s.opt.FlushReads {
-			s.flushSpan(lo, hi)
-		}
 		done := true
-		s.withCut(lo, hi, func(v cut) { done = v.streamRange(start, end, f) })
+		s.withCut(func(rt *router) (int, int) {
+			lo, hi := rt.shardSpan(start, end)
+			if s.opt.FlushReads && hi >= lo {
+				s.flushSpan(lo, hi)
+			}
+			return lo, hi
+		}, func(v cut) { done = v.streamRange(start, end, f) })
 		return done
 	}
 	s.readBarrier()
 	var gathered []uint64
-	s.withCut(0, len(s.cells)-1, func(v cut) { gathered = v.gatherRange(start, end) })
+	s.withCut(fullSpan, func(v cut) { gathered = v.gatherRange(start, end) })
 	for _, x := range gathered {
 		if !f(x) {
 			return false
@@ -830,11 +978,11 @@ func (s *Sharded) Map(f func(uint64) bool) bool {
 	s.readBarrier()
 	if s.opt.Partition == RangePartition {
 		done := true
-		s.withCut(0, len(s.cells)-1, func(v cut) { done = v.streamAll(f) })
+		s.withCut(fullSpan, func(v cut) { done = v.streamAll(f) })
 		return done
 	}
 	var gathered []uint64
-	s.withCut(0, len(s.cells)-1, func(v cut) { gathered = v.gatherAll() })
+	s.withCut(fullSpan, func(v cut) { gathered = v.gatherAll() })
 	for _, x := range gathered {
 		if !f(x) {
 			return false

@@ -19,6 +19,13 @@ func configs() map[string]*Options {
 		"async-hash-1":  {Partition: HashPartition, Async: true, MailboxDepth: 2},
 		"async-hash-4":  {Partition: HashPartition, Async: true, MailboxDepth: 4},
 		"async-range-4": {Partition: RangePartition, KeyBits: workload.UniformBits, Async: true, MailboxDepth: 4, FlushReads: true},
+		// Extreme partition geometries: more shards than distinct spans
+		// (2-bit keys across 9 shards leave most spans empty), the full
+		// 64-bit space over a non-power-of-two shard count, and the async
+		// pipeline over both.
+		"range-9x2bit":       {Partition: RangePartition, KeyBits: 2},
+		"async-range-9x2bit": {Partition: RangePartition, KeyBits: 2, Async: true, MailboxDepth: 2},
+		"async-range-7x64":   {Partition: RangePartition, KeyBits: 64, Async: true, MailboxDepth: 4},
 	}
 }
 
@@ -28,10 +35,12 @@ func shardCount(name string) int {
 		return 1
 	case "hash-4", "range-4", "async-hash-4", "async-range-4":
 		return 4
-	case "hash-7":
+	case "hash-7", "async-range-7x64":
 		return 7
 	case "range-5":
 		return 5
+	case "range-9x2bit", "async-range-9x2bit":
+		return 9
 	default:
 		return 64
 	}
@@ -464,7 +473,7 @@ func TestSnapshotPrefixCutDifferential(t *testing.T) {
 				s.Flush()
 			}()
 
-			cur := make([]int, P)        // last matched prefix per shard
+			cur := make([]int, P) // last matched prefix per shard
 			lastEpochs := make([]uint64, P)
 			captures := 0
 			writerDone := false

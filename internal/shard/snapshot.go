@@ -34,11 +34,15 @@ import (
 )
 
 // shardSnap is one shard's published frozen state: an immutable CPMA handle
-// stamped with the epoch (count of state-changing applies) it reflects.
-// Once published the handle is never mutated — the live set keeps mutating
-// and the next publication clones afresh.
+// stamped with the epoch (count of state-changing applies) it reflects and
+// the span generation (router.spanGen) its shard's key range had when it
+// was published. Once published the handle is never mutated — the live set
+// keeps mutating and the next publication clones afresh. The gen stamp is
+// what keeps captures coherent across rebalances: a capture only accepts a
+// handle whose gen matches the routing table it will serve reads with.
 type shardSnap struct {
 	epoch uint64
+	gen   uint64
 	set   *cpma.CPMA
 }
 
@@ -47,50 +51,80 @@ type shardSnap struct {
 // (sets is span-sized and indexed relative to lo, so a narrow-span capture
 // allocates only what it covers). A cut over the live sets is valid only
 // while the overlapping read locks are held (withCut); a cut over
-// published frozen handles is valid forever (Snapshot).
+// published frozen handles is valid forever (Snapshot). rt is the routing
+// table the capture was validated against — the cut's data placement and
+// its routing always agree, even across rebalances.
 type cut struct {
 	sets   []*cpma.CPMA // sets[p-lo] is shard p's CPMA
-	rt     router
+	rt     *router
 	lo, hi int
 }
 
 func (v cut) at(p int) *cpma.CPMA { return v.sets[p-v.lo] }
 
-// withCut acquires the read locks of shards [lo, hi] in ascending order,
-// runs f against the resulting atomic cut of the live sets, and releases.
-// Holding every overlapping lock at once is what upgrades the multi-shard
-// read paths from per-shard consistency to one consistent cut: no writer
-// can land between the capture of shard p and shard q. Ascending
-// acquisition cannot deadlock against writers (which only ever hold one
-// shard lock at a time) or against other cuts.
-func (s *Sharded) withCut(lo, hi int, f func(v cut)) {
-	for p := lo; p <= hi; p++ {
-		s.cells[p].mu.RLock()
-	}
-	sets := make([]*cpma.CPMA, hi-lo+1)
-	for p := lo; p <= hi; p++ {
-		sets[p-lo] = s.cells[p].set
-	}
-	f(cut{sets: sets, rt: s.rt, lo: lo, hi: hi})
-	for p := lo; p <= hi; p++ {
-		s.cells[p].mu.RUnlock()
+// withCut computes the shard interval span(rt) under the current router,
+// acquires those shards' read locks in ascending order, and — after
+// re-validating that the router was not swapped by a concurrent rebalance
+// while the locks were being taken (rebalances install new routers while
+// holding the affected shards' write locks, so a reader that holds a lock
+// and still sees the old pointer routed correctly) — runs f against the
+// resulting atomic cut of the live sets. Holding every overlapping lock at
+// once is what upgrades the multi-shard read paths from per-shard
+// consistency to one consistent cut: no writer can land between the
+// capture of shard p and shard q. Ascending acquisition cannot deadlock
+// against writers or the rebalancer (which locks its pair ascending) or
+// against other cuts. span may return hi < lo for a degenerate range; f
+// then runs on an empty cut.
+func (s *Sharded) withCut(span func(rt *router) (lo, hi int), f func(v cut)) {
+	for {
+		rt := s.router()
+		lo, hi := span(rt)
+		if hi < lo {
+			f(cut{rt: rt, lo: 0, hi: -1})
+			return
+		}
+		for p := lo; p <= hi; p++ {
+			s.cells[p].mu.RLock()
+		}
+		if s.router() == rt {
+			sets := make([]*cpma.CPMA, hi-lo+1)
+			for p := lo; p <= hi; p++ {
+				sets[p-lo] = s.cells[p].set
+			}
+			f(cut{sets: sets, rt: rt, lo: lo, hi: hi})
+			for p := lo; p <= hi; p++ {
+				s.cells[p].mu.RUnlock()
+			}
+			return
+		}
+		// A rebalance swapped the router between routing and locking; the
+		// spans (and possibly the data placement) moved, so re-route.
+		for p := lo; p <= hi; p++ {
+			s.cells[p].mu.RUnlock()
+		}
 	}
 }
 
+// fullSpan is the span callback for whole-set reads.
+func fullSpan(rt *router) (int, int) { return 0, rt.shards - 1 }
+
 // publish refreshes c's published handle if state-changing applies landed
-// since the last publication, and returns the current handle. The caller
-// must exclude mutation of c.set for the duration: the async shard writer
-// (the shard's sole mutator) calls it between applies, and sync-mode
-// capture calls it while holding the shard's read lock. Concurrent
-// sync-mode captures may race to publish the same epoch; the CompareAndSwap
-// lets exactly one equivalent clone win (and be counted).
-func (s *Sharded) publish(c *cell) *shardSnap {
+// since the last publication (or the shard's span changed generation), and
+// returns the current handle. The caller must exclude mutation of c.set
+// for the duration: the async shard writer (the shard's sole mutator)
+// calls it between applies, sync-mode capture calls it while holding the
+// shard's read lock, and the rebalancer calls it with the writer quiesced
+// and the shard's write lock held. Concurrent sync-mode captures may race
+// to publish the same epoch; the CompareAndSwap lets exactly one
+// equivalent clone win (and be counted).
+func (s *Sharded) publish(p int, c *cell) *shardSnap {
 	e := c.epoch.Load()
+	g := s.router().spanGen[p]
 	old := c.snap.Load()
-	if old != nil && old.epoch == e {
+	if old != nil && old.epoch == e && old.gen == g {
 		return old
 	}
-	sn := &shardSnap{epoch: e, set: c.set.Clone()}
+	sn := &shardSnap{epoch: e, gen: g, set: c.set.Clone()}
 	if c.snap.CompareAndSwap(old, sn) {
 		s.snapPublishes.Add(1)
 		s.snapCloneBytes.Add(sn.set.SizeBytes())
@@ -143,30 +177,54 @@ type Snapshot struct {
 // all shard read locks for the capture and clones only shards that changed
 // since their last publication (repeated snapshots of an unchanged set are
 // free and share handles).
+//
+// Rebalance coherence: the async capture validates every grabbed handle's
+// span generation against the routing table it grabbed first (and
+// re-checks the table afterwards), retrying if a concurrent boundary move
+// tore the capture — so a Snapshot can never route with spans that
+// disagree with where its frozen handles actually hold the keys. The
+// sync-mode capture needs no validation: rebalancing requires the async
+// pipeline.
 func (s *Sharded) Snapshot() *Snapshot {
 	s.snapCaptures.Add(1)
 	P := len(s.cells)
 	snaps := make([]*shardSnap, P)
+	var rt *router
 	if s.opt.Async {
 		if s.opt.FlushReads {
 			s.Flush()
 		}
-		for p := range s.cells {
-			snaps[p] = s.cells[p].snap.Load()
+	capture:
+		for {
+			rt = s.router()
+			for p := range s.cells {
+				sp := s.cells[p].snap.Load()
+				if sp.gen != rt.spanGen[p] {
+					// This handle was published under a different span for
+					// shard p (a rebalance is mid-publication); its keys may
+					// sit on the other side of a moved boundary. Re-grab.
+					continue capture
+				}
+				snaps[p] = sp
+			}
+			if s.router() == rt {
+				break
+			}
 		}
 	} else {
+		rt = s.router()
 		for p := range s.cells {
 			s.cells[p].mu.RLock()
 		}
 		parallel.For(P, 1, func(p int) {
-			snaps[p] = s.publish(&s.cells[p])
+			snaps[p] = s.publish(p, &s.cells[p])
 		})
 		for p := range s.cells {
 			s.cells[p].mu.RUnlock()
 		}
 	}
 	sn := &Snapshot{
-		v:      cut{sets: make([]*cpma.CPMA, P), rt: s.rt, lo: 0, hi: P - 1},
+		v:      cut{sets: make([]*cpma.CPMA, P), rt: rt, lo: 0, hi: P - 1},
 		epochs: make([]uint64, P),
 	}
 	for p, sp := range snaps {

@@ -151,6 +151,77 @@ func ZipfBatch(z *Zipf, n int) []uint64 {
 	return out
 }
 
+// PowerLaw draws keys from a bounded power law P(k) ∝ k^-s over
+// [1, 2^bits), s > 1 (the classic zipf exponent form — unlike the YCSB
+// generator above, whose rejection-free approximation needs theta < 1).
+// With Scramble false, hot keys cluster at the bottom of the key space —
+// the adversarial input for RangePartition, where one shard's span
+// captures nearly all traffic; with Scramble true, hot ranks are spread
+// over the space as YCSB does, which stresses hash partitions instead.
+type PowerLaw struct {
+	rng      *RNG
+	scramble bool
+	mask     uint64
+	n        float64 // item count as float
+	oneMinus float64 // 1 - s
+	tailTerm float64 // (n+1)^(1-s) - 1
+}
+
+// NewPowerLaw builds a generator over [1, 2^bits) with exponent s > 1
+// (values at or below 1.01 are clamped to 1.01).
+func NewPowerLaw(r *RNG, bits int, s float64, scramble bool) *PowerLaw {
+	if bits < 1 {
+		bits = 1
+	}
+	if bits > 63 {
+		bits = 63
+	}
+	if s < 1.01 {
+		s = 1.01
+	}
+	n := float64(uint64(1)<<uint(bits)) - 1
+	om := 1 - s
+	return &PowerLaw{
+		rng:      r,
+		scramble: scramble,
+		mask:     uint64(1)<<uint(bits) - 1,
+		n:        n,
+		oneMinus: om,
+		tailTerm: math.Pow(n+1, om) - 1,
+	}
+}
+
+// Next returns the next power-law key in [1, 2^bits), via inverse-CDF
+// sampling of the continuous density x^-s on [1, n+1).
+func (z *PowerLaw) Next() uint64 {
+	u := z.rng.Float64()
+	x := math.Pow(1+u*z.tailTerm, 1/z.oneMinus)
+	rank := uint64(x)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > uint64(z.n) {
+		rank = uint64(z.n)
+	}
+	if !z.scramble {
+		return rank
+	}
+	k := scramble(rank) & z.mask
+	if k == 0 {
+		k = 1
+	}
+	return k
+}
+
+// PowerLawBatch draws n power-law keys.
+func PowerLawBatch(z *PowerLaw, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = z.Next()
+	}
+	return out
+}
+
 // Edge is a directed graph edge.
 type Edge struct {
 	Src, Dst uint32

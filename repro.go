@@ -51,6 +51,21 @@
 // repro/internal/shard package documentation for the precise consistency
 // contract.
 //
+// Range-partitioned sets route through an authoritative sorted span
+// boundary table rather than fixed-width arithmetic, and
+// ShardedSetOptions{Rebalance: true} makes the spans live: a background
+// monitor samples per-shard key counts and, whenever the max/mean ratio
+// exceeds MaxSkew, hands span boundaries between adjacent shards —
+// quiescing only the two affected mailbox writers while every other
+// shard keeps ingesting — so zipfian and other skewed key streams stop
+// bottlenecking on one hot shard's single writer.
+// (*ShardedSet).RebalanceOnce triggers a sweep manually, Bounds and
+// LoadRatio expose the table and the current balance, and
+// ShardRebalanceStats counts the moves. On a durable set every move is
+// journaled as a WAL barrier plus a boundary-table update, so crash
+// recovery replays against exactly the spans the history was routed
+// with. Rebalancing requires the async pipeline and RangePartition.
+//
 // # Durability
 //
 // OpenDurableShardedSet adds crash durability to the async pipeline,
@@ -136,6 +151,11 @@ type ShardedSnapshot = shard.Snapshot
 // epoch advances, published frozen handles (each a Set.Clone), the bytes
 // those clones copied, and Snapshot captures.
 type ShardSnapshotStats = shard.SnapshotStats
+
+// ShardRebalanceStats reports the live span rebalancer's work: skew
+// checks, boundary moves, keys moved between shards, and the current
+// router generation.
+type ShardRebalanceStats = shard.RebalanceStats
 
 // NewShardedSet returns a concurrently usable set of `shards`
 // hash-partitioned Sets; opts configures each shard's Set and may be nil
