@@ -9,8 +9,20 @@
 //	cpma-bench all
 //
 // Experiments: fig1 fig2 fig7 fig8 fig11 table1 table3 table4 table5
-// table6 growfactor shards rebalance persist all. The defaults are ~100x
-// below paper scale; raise -n/-k on a machine with the paper's 256 GB.
+// table6 growfactor shards rebalance persist clonecost all. The defaults
+// are ~100x below paper scale; raise -n/-k on a machine with the paper's
+// 256 GB.
+//
+// The clonecost experiment measures the publish/checkpoint cost of the
+// leaf-granular COW machinery: per steady-state size it streams uniform
+// and clustered drains through a durable single-shard pipeline with one
+// snapshot publication and one checkpoint per drain, and reports bytes
+// actually copied (clone cost) and written (base + delta checkpoints)
+// against the full-copy baselines. Results also land in -clonejson (for
+// the repo's committed BENCH_clone.json). It exits nonzero if the
+// clustered workload at the largest size misses the acceptance ratio
+// (>= 10x cheaper than full copies at >= 1M keys/shard, >= 2x at the
+// small CI smoke sizes).
 //
 // The shards experiment goes beyond the paper: it sweeps the concurrent
 // sharded front-end from 1 to -shards shards, with -clients goroutines
@@ -34,6 +46,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -63,6 +76,7 @@ func main() {
 	persistDir := flag.String("persistdir", "", "directory for the persist experiment (default: a fresh temp dir)")
 	zipf := flag.Bool("zipf", false, "add the zipfian skew/rebalance sweep to the shards experiment")
 	zipfS := flag.Float64("zipfs", 1.1, "power-law exponent for the skew sweep")
+	cloneJSON := flag.String("clonejson", "BENCH_clone.json", "output file for the clonecost experiment's JSON rows")
 	flag.Parse()
 
 	part, err := parsePartition(*partition)
@@ -281,6 +295,12 @@ func main() {
 		}
 		fmt.Fprintln(out)
 	}
+	if all || run["clonecost"] {
+		if err := runCloneCost(out, cfg, *n, *cloneJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "clonecost experiment: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if all || run["growfactor"] {
 		factors := []float64{1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0}
 		rows := experiments.AppCGrowingFactor(cfg, factors)
@@ -293,6 +313,72 @@ func main() {
 		t.Write(out)
 		fmt.Fprintln(out)
 	}
+}
+
+// runCloneCost runs the publish/checkpoint cost sweep at n/10 and n keys
+// per shard, prints the table, writes the JSON rows to jsonPath, and
+// enforces the acceptance gate on the clustered workload at the largest
+// size: COW clones and delta checkpoints must beat the full-copy
+// baselines by >= 10x at paper-adjacent scale (>= 1M keys/shard), or by
+// >= 2x at CI smoke sizes.
+func runCloneCost(out *os.File, cfg experiments.MicroConfig, n int, jsonPath string) error {
+	sizes := []int{n / 10, n}
+	if sizes[0] < 1 {
+		sizes = sizes[1:]
+	}
+	const rounds, batch = 16, 2048
+	dir, err := os.MkdirTemp("", "cpma-clonecost-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	rows, err := experiments.CloneCostSweep(cfg, sizes, rounds, batch, dir)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "Publish/checkpoint cost per drain (1 shard, %d rounds, batch size/500 capped at %d): COW clones and delta checkpoints vs full copies\n",
+		rounds, batch)
+	t := stats.NewTable("workload", "keys", "batch", "publishes", "clone MB", "full MB", "ratio",
+		"ckpts", "deltas", "ckpt MB", "full MB", "ratio", "ingest TP")
+	for _, r := range rows {
+		t.Row(r.Workload, stats.Sci(float64(r.Keys)), r.Batch, r.Publishes,
+			fmt.Sprintf("%.2f", r.CloneMB), fmt.Sprintf("%.2f", r.FullMB), fmt.Sprintf("%.1fx", r.CloneRatio),
+			r.Checkpoints, r.Deltas,
+			fmt.Sprintf("%.2f", r.CkptMB), fmt.Sprintf("%.2f", r.FullCkptMB), fmt.Sprintf("%.1fx", r.CkptRatio),
+			stats.Sci(r.IngestTP))
+	}
+	t.Write(out)
+	fmt.Fprintln(out)
+
+	blob, err := json.MarshalIndent(struct {
+		Rounds int                        `json:"rounds"`
+		Batch  int                        `json:"batch"`
+		Rows   []experiments.CloneCostRow `json:"rows"`
+	}{rounds, batch, rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "clonecost: wrote %s\n\n", jsonPath)
+
+	largest := sizes[len(sizes)-1]
+	thr := 2.0
+	if largest >= 1_000_000 {
+		thr = 10.0
+	}
+	for _, r := range rows {
+		if r.Workload != "clustered" || r.Keys != largest {
+			continue
+		}
+		if r.CloneRatio < thr || r.CkptRatio < thr {
+			return fmt.Errorf("clustered drains at %d keys: clone ratio %.1fx / checkpoint ratio %.1fx below the %.0fx acceptance bound",
+				largest, r.CloneRatio, r.CkptRatio, thr)
+		}
+	}
+	return nil
 }
 
 // runRebalanceSweep prints the zipfian skew sweep (rebalance off vs on

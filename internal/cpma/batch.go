@@ -61,7 +61,7 @@ func (c *CPMA) RemoveBatch(keys []uint64, sorted bool) int {
 	var removed atomic.Int64
 	c.removeRange(batch, 0, c.leaves-1, dirty, &removed)
 	c.n -= int(removed.Load())
-	if len(c.data) > minCapacity {
+	if c.Capacity() > minCapacity {
 		plan := c.tree.Count(c.usedOf, dirty.Indices(), false, true)
 		c.applyPlan(plan)
 	}
@@ -159,28 +159,29 @@ func (c *CPMA) mergeLeaf(leaf int, sub []uint64, dirty *parallel.Bitset, added *
 		return
 	}
 	dirty.Set(leaf)
-	ld := c.leafData(leaf)
-	ec := int(c.ecnt[leaf])
+	ec := c.ecntOf(leaf)
 	var merged []uint64
 	fresh := 0
 	if ec == 0 {
 		merged, fresh = sub, len(sub)
 	} else {
-		cur := codec.DecodeRun(make([]uint64, 0, ec), ld, c.usedOf(leaf))
+		cur := codec.DecodeRun(make([]uint64, 0, ec), c.leafData(leaf), c.usedOf(leaf))
 		merged, fresh = parallel.MergeDedup(cur, sub)
 	}
 	size := codec.SizeOfRun(merged)
 	if size <= c.LeafBytes() {
+		ld := c.leafDataW(leaf)
 		w := codec.EncodeRun(ld, merged)
 		clearBytes(ld[w:])
 	} else {
+		// Overflow: the slab is untouched (the counting phase redistributes
+		// it later), so only the metadata changes — no unshare needed.
 		if ec == 0 {
 			merged = append([]uint64(nil), sub...)
 		}
 		c.overflow[leaf] = merged
 	}
-	c.used[leaf] = int32(size)
-	c.ecnt[leaf] = int32(len(merged))
+	c.setLeafMeta(leaf, int32(size), int32(len(merged)))
 	added.Add(int64(fresh))
 }
 
@@ -225,11 +226,10 @@ func (c *CPMA) removeRange(batch []uint64, loLeaf, hiLeaf int, dirty *parallel.B
 // difference over the decoded run. Deletion never grows the encoding, so
 // the result always re-encodes in place.
 func (c *CPMA) removeLeaf(leaf int, sub []uint64, dirty *parallel.Bitset, removed *atomic.Int64) {
-	if len(sub) == 0 || c.used[leaf] == 0 {
+	if len(sub) == 0 || c.usedOf(leaf) == 0 {
 		return
 	}
-	ld := c.leafData(leaf)
-	cur := codec.DecodeRun(make([]uint64, 0, int(c.ecnt[leaf])), ld, c.usedOf(leaf))
+	cur := codec.DecodeRun(make([]uint64, 0, c.ecntOf(leaf)), c.leafData(leaf), c.usedOf(leaf))
 	w := 0
 	j := 0
 	dropped := 0
@@ -249,14 +249,13 @@ func (c *CPMA) removeLeaf(leaf int, sub []uint64, dirty *parallel.Bitset, remove
 	}
 	dirty.Set(leaf)
 	removed.Add(int64(dropped))
+	ld := c.leafDataW(leaf)
 	if w == 0 {
 		clearBytes(ld[:c.usedOf(leaf)])
-		c.used[leaf] = 0
-		c.ecnt[leaf] = 0
+		c.setLeafMeta(leaf, 0, 0)
 		return
 	}
 	size := codec.EncodeRun(ld, cur[:w])
 	clearBytes(ld[size:c.usedOf(leaf)])
-	c.used[leaf] = int32(size)
-	c.ecnt[leaf] = int32(w)
+	c.setLeafMeta(leaf, int32(size), int32(w))
 }

@@ -12,6 +12,7 @@ package cpma
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/bitutil"
 	"repro/internal/codec"
@@ -72,15 +73,29 @@ const (
 // nonzero uint64 keys. Single writer; batch operations parallelize
 // internally.
 type CPMA struct {
-	data     []byte  // leaves << leafLog2 bytes, each leaf packed left
-	used     []int32 // bytes used per leaf (0 = empty leaf)
-	ecnt     []int32 // elements per leaf
-	overflow [][]uint64
-	tree     *pmatree.Tree
-	leafLog2 uint
-	leaves   int
-	n        int
-	opt      Options
+	lf         []atomic.Pointer[leafChunk] // chunked per-leaf slab + metadata spine (see cow.go)
+	ownChunk   *parallel.Bitset            // spine chunks private to this CPMA
+	claimChunk *parallel.Bitset            // unshare claim tickets (see unshareChunk)
+	overflow   [][]uint64
+	tree       *pmatree.Tree
+	leafLog2   uint
+	leaves     int
+	n          int
+	opt        Options
+
+	// Copy-on-write bookkeeping (cow.go). dirty/dirtyAll accumulate the
+	// leaves mutated since the last Clone; pubAll/pubDirty hold the window
+	// a Clone captured from its parent (DirtySince). cowBytes counts
+	// unshare copies since the last Clone (atomic: parallel batch phases
+	// unshare concurrently); cloneBytes is the materialization cost of
+	// this handle; clones counts Clone calls taken of this CPMA.
+	dirty      *parallel.Bitset
+	dirtyAll   bool
+	pubAll     bool
+	pubDirty   *parallel.Bitset
+	cowBytes   uint64
+	cloneBytes uint64
+	clones     uint64
 }
 
 // New returns an empty CPMA; opts may be nil for defaults.
@@ -94,19 +109,30 @@ func New(opts *Options) *CPMA {
 	return c
 }
 
-// Clone returns a deep copy that shares no mutable state with c: the
-// original may keep mutating (or be mutated) while the clone serves reads,
-// and the clone is itself a fully functional CPMA that can be mutated and
-// validated independently. The cost is a memcpy of the data array plus the
-// per-leaf metadata — no re-encoding — which is what makes copy-on-publish
-// snapshots cheap: the pointer-free contiguous layout (the paper's central
-// design choice) means the whole structure is three flat slices. The
-// implicit pmatree is immutable and shared.
+// Clone returns a logically deep copy that may be read and mutated
+// independently of c: the original may keep mutating (or be mutated) while
+// the clone serves reads, and the clone is itself a fully functional CPMA.
+// Physically the copy is leaf-granular copy-on-write: only the chunk
+// pointer table (8 bytes per 64 leaves) is copied eagerly; spine chunks
+// and every leaf's byte slab are shared and unshared lazily on first
+// write by either side, so a clone costs O(dirty leaves) — CloneCost
+// reports the exact bytes — instead of O(n). The implicit pmatree is
+// immutable and shared. Clone also hands the parent's accumulated dirty
+// window to the clone (see DirtySince) and starts a fresh window on both
+// sides. Must be called at rest and never concurrently with mutations of
+// c; see the COW contract in cow.go.
 func (c *CPMA) Clone() *CPMA {
 	d := *c
-	d.data = append([]byte(nil), c.data...)
-	d.used = append([]int32(nil), c.used...)
-	d.ecnt = append([]int32(nil), c.ecnt...)
+	d.lf = make([]atomic.Pointer[leafChunk], len(c.lf))
+	for i := range c.lf {
+		d.lf[i].Store(c.lf[i].Load())
+	}
+	// Every chunk (and therefore every slab) is now shared: both sides
+	// restart with empty ownership, and stale owned flags inside the
+	// chunks are void until a chunk is re-unshared (which clears them).
+	nch := len(c.lf)
+	c.ownChunk, c.claimChunk = parallel.NewBitset(nch), parallel.NewBitset(nch)
+	d.ownChunk, d.claimChunk = parallel.NewBitset(nch), parallel.NewBitset(nch)
 	if c.overflow != nil {
 		// At rest overflow entries are nil (CheckInvariants enforces it), so
 		// this copies only the spine; entries are cloned defensively in case
@@ -118,6 +144,18 @@ func (c *CPMA) Clone() *CPMA {
 			}
 		}
 	}
+	// Window handoff: the clone carries what changed since the parent's
+	// previous Clone; the parent starts accumulating a fresh window.
+	d.pubAll, d.pubDirty = c.dirtyAll, c.dirty
+	c.resetDirty()
+	d.resetDirty()
+	// Eager cost: the pointer table plus the four fresh ownership bitsets
+	// (8 bytes per chunk pointer, 2 bits per chunk per side).
+	spineOverhead := uint64(nch)*8 + 4*uint64(8*((nch+63)/64))
+	d.cloneBytes = atomic.SwapUint64(&c.cowBytes, 0) + spineOverhead
+	d.cowBytes = 0
+	d.clones = 0
+	atomic.AddUint64(&c.clones, 1)
 	return &d
 }
 
@@ -137,7 +175,7 @@ func FromSorted(keys []uint64, opts *Options) *CPMA {
 func (c *CPMA) Len() int { return c.n }
 
 // Capacity returns the total byte capacity.
-func (c *CPMA) Capacity() int { return len(c.data) }
+func (c *CPMA) Capacity() int { return c.leaves << c.leafLog2 }
 
 // LeafBytes returns the byte capacity of one leaf.
 func (c *CPMA) LeafBytes() int { return 1 << c.leafLog2 }
@@ -148,25 +186,25 @@ func (c *CPMA) Leaves() int { return c.leaves }
 // UsedBytes returns the total encoded payload bytes across leaves.
 func (c *CPMA) UsedBytes() int {
 	total := 0
-	for _, u := range c.used {
-		total += int(u)
+	for i := 0; i < c.leaves; i++ {
+		total += c.usedOf(i)
 	}
 	return total
 }
 
-// SizeBytes returns the memory footprint: data array plus per-leaf metadata
-// (the quantity the paper's get_size reports).
+// SizeBytes returns the logical memory footprint: data capacity plus
+// per-leaf used/ecnt metadata (the quantity the paper's get_size reports,
+// and the baseline a non-COW full copy of this CPMA would cost).
 func (c *CPMA) SizeBytes() uint64 {
-	return uint64(len(c.data) + 4*len(c.used) + 4*len(c.ecnt))
+	return uint64(c.Capacity() + 8*c.leaves)
 }
 
-func (c *CPMA) base(leaf int) int { return leaf << c.leafLog2 }
-func (c *CPMA) leafData(leaf int) []byte {
-	b := c.base(leaf)
-	return c.data[b : b+(1<<c.leafLog2)]
-}
-func (c *CPMA) head(leaf int) uint64 { return codec.Head(c.data[leaf<<c.leafLog2:]) }
-func (c *CPMA) usedOf(leaf int) int  { return int(c.used[leaf]) }
+// Read-side accessors; mutations must go through leafDataW/setLeafMeta
+// (cow.go) instead.
+func (c *CPMA) leafData(leaf int) []byte { return c.leafSt(leaf).data }
+func (c *CPMA) head(leaf int) uint64     { return codec.Head(c.leafSt(leaf).data) }
+func (c *CPMA) usedOf(leaf int) int      { return int(c.leafSt(leaf).used) }
+func (c *CPMA) ecntOf(leaf int) int      { return int(c.leafSt(leaf).ecnt) }
 
 // effectiveBounds caps the upper density bounds so that any in-bounds region
 // can always be redistributed into chunks of at most leafBytes - MaxGrowth
@@ -271,12 +309,15 @@ func (c *CPMA) rebuildFrom(all []uint64) {
 	leaves := bitutil.Max(1, capacity/lb)
 	c.leafLog2 = uint(bitutil.Log2Ceil(uint64(lb)))
 	c.leaves = leaves
-	c.data = make([]byte, leaves<<c.leafLog2)
-	c.used = make([]int32, leaves)
-	c.ecnt = make([]int32, leaves)
+	c.lf = newLeafSpine(leaves, lb)
+	c.ownAllChunks()
 	c.overflow = nil
 	c.tree = pmatree.New(leaves, lb, effectiveBounds(c.opt.Bounds, lb))
 	c.n = len(all)
+	// A rebuild replaces every leaf: the whole geometry is dirty relative
+	// to any prior Clone, and no prior slab is shared anymore.
+	c.dirty = parallel.NewBitset(leaves)
+	c.dirtyAll = true
 	if err := c.scatterElems(all, prefix, 0, leaves); err != nil {
 		// capacityFor guarantees fit; reaching here is a bug.
 		panic(err)
@@ -329,11 +370,10 @@ func (c *CPMA) scatterElems(elems []uint64, prefix []int, loLeaf, hiLeaf int) er
 			c.clearLeaf(leaf)
 			return
 		}
-		ld := c.leafData(leaf)
+		ld := c.leafDataW(leaf)
 		w := codec.EncodeRun(ld, elems[s:e])
 		clearBytes(ld[w:])
-		c.used[leaf] = int32(w)
-		c.ecnt[leaf] = int32(e - s)
+		c.setLeafMeta(leaf, int32(w), int32(e-s))
 		if c.overflow != nil {
 			c.overflow[leaf] = nil
 		}
@@ -342,11 +382,22 @@ func (c *CPMA) scatterElems(elems []uint64, prefix []int, loLeaf, hiLeaf int) er
 }
 
 func (c *CPMA) clearLeaf(leaf int) {
-	ld := c.leafData(leaf)
-	clearBytes(ld[:c.usedOf(leaf)])
-	c.used[leaf] = 0
-	c.ecnt[leaf] = 0
-	if c.overflow != nil {
+	hasOverflow := c.overflow != nil && c.overflow[leaf] != nil
+	if c.usedOf(leaf) == 0 && !hasOverflow {
+		// Already empty: nothing to clear, and redistribution over empty
+		// leaves must not dirty (or unshare) them.
+		return
+	}
+	ld := c.leafDataW(leaf)
+	// used transiently exceeds the slab length on overflow leaves; the slab
+	// itself never holds more than its capacity of stale bytes.
+	u := c.usedOf(leaf)
+	if u > len(ld) {
+		u = len(ld)
+	}
+	clearBytes(ld[:u])
+	c.setLeafMeta(leaf, 0, 0)
+	if hasOverflow {
 		c.overflow[leaf] = nil
 	}
 }
@@ -367,7 +418,7 @@ func (c *CPMA) gatherElems(loLeaf, hiLeaf int) []uint64 {
 	nl := hiLeaf - loLeaf
 	offsets := make([]int, nl+1)
 	for i := 0; i < nl; i++ {
-		offsets[i+1] = offsets[i] + int(c.ecnt[loLeaf+i])
+		offsets[i+1] = offsets[i] + c.ecntOf(loLeaf+i)
 	}
 	buf := make([]uint64, offsets[nl])
 	forLeaves(nl, func(i int) {
@@ -411,8 +462,11 @@ func (c *CPMA) applyPlan(plan pmatree.Plan) {
 // CheckInvariants verifies structural invariants; tests call it after every
 // mutation batch.
 func (c *CPMA) CheckInvariants() error {
-	if c.leaves != len(c.used) || c.leaves != len(c.ecnt) || c.leaves<<c.leafLog2 != len(c.data) {
-		return fmt.Errorf("cpma: geometry mismatch")
+	if chunksFor(c.leaves) != len(c.lf) {
+		return fmt.Errorf("cpma: geometry mismatch (%d leaves, %d spine chunks)", c.leaves, len(c.lf))
+	}
+	if c.dirty == nil || c.dirty.Len() != c.leaves {
+		return fmt.Errorf("cpma: dirty bitmap missized for %d leaves", c.leaves)
 	}
 	total := 0
 	var prev uint64
@@ -425,9 +479,12 @@ func (c *CPMA) CheckInvariants() error {
 			return fmt.Errorf("cpma: leaf %d has undrained overflow", leaf)
 		}
 		ld := c.leafData(leaf)
+		if len(ld) != c.LeafBytes() {
+			return fmt.Errorf("cpma: leaf %d slab is %d bytes, want %d", leaf, len(ld), c.LeafBytes())
+		}
 		if u == 0 {
-			if int(c.ecnt[leaf]) != 0 {
-				return fmt.Errorf("cpma: empty leaf %d has ecnt %d", leaf, c.ecnt[leaf])
+			if c.ecntOf(leaf) != 0 {
+				return fmt.Errorf("cpma: empty leaf %d has ecnt %d", leaf, c.ecntOf(leaf))
 			}
 			for i, b := range ld {
 				if b != 0 {
@@ -440,8 +497,8 @@ func (c *CPMA) CheckInvariants() error {
 			return fmt.Errorf("cpma: leaf %d used %d < head size", leaf, u)
 		}
 		elems := codec.DecodeRun(nil, ld, u)
-		if len(elems) != int(c.ecnt[leaf]) {
-			return fmt.Errorf("cpma: leaf %d decodes to %d elements, ecnt says %d", leaf, len(elems), c.ecnt[leaf])
+		if len(elems) != c.ecntOf(leaf) {
+			return fmt.Errorf("cpma: leaf %d decodes to %d elements, ecnt says %d", leaf, len(elems), c.ecntOf(leaf))
 		}
 		if got := codec.SizeOfRun(elems); got != u {
 			return fmt.Errorf("cpma: leaf %d used %d but re-encode is %d", leaf, u, got)

@@ -1,0 +1,193 @@
+package cpma
+
+// Delta serialization: the incremental counterpart of the slab format.
+// Where WriteTo dumps every leaf, WriteDeltaTo dumps only a caller-chosen
+// subset — in practice the dirty window DirtySince reported for a
+// published handle — so a checkpoint against a known base costs O(dirty
+// leaves) on disk just as a Clone costs O(dirty leaves) in memory.
+// ApplyDeltaFrom patches a CPMA holding the base state (same geometry)
+// into the delta's state. A delta with zero leaves is valid and encodes
+// "nothing changed" (the key count must still match).
+//
+// Format (version 1, all integers little-endian):
+//
+//	[ 8] magic "CPMADLT1"
+//	[ 4] version (1)
+//	[ 4] leafLog2            must match the receiver on apply
+//	[ 8] leaves              must match the receiver on apply
+//	[ 8] n (stored keys after applying)
+//	[ 8] D (leaf entries)
+//	D x { [8] leaf, [4] used, [4] ecnt }   ascending leaf order
+//	D x encoded leaf payload, used bytes each, concatenated in entry order
+//	[ 4] CRC32C of every preceding byte
+//
+// Geometry changes cannot be expressed: a rebuild reports DirtySince all,
+// and the caller falls back to a full slab (internal/persist writes a
+// fresh base checkpoint in that case).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	deltaMagic      = "CPMADLT1"
+	deltaVersion    = 1
+	deltaHeaderSize = 8 + 4 + 4 + 8 + 8 + 8
+	deltaEntrySize  = 8 + 4 + 4
+	deltaCRCSize    = 4
+)
+
+// DeltaEncodedSize returns the exact number of bytes WriteDeltaTo emits
+// for the given leaf subset.
+func (c *CPMA) DeltaEncodedSize(leaves []int) uint64 {
+	total := uint64(deltaHeaderSize + deltaCRCSize)
+	for _, leaf := range leaves {
+		total += deltaEntrySize + uint64(c.leafSt(leaf).used)
+	}
+	return total
+}
+
+// WriteDeltaTo serializes the given leaves (ascending, in range,
+// duplicate-free — Bitset.Indices output qualifies) and returns the bytes
+// written. The receiver must be at rest, like WriteTo.
+func (c *CPMA) WriteDeltaTo(w io.Writer, leaves []int) (int64, error) {
+	crc := crc32.New(castagnoli)
+	mw := io.MultiWriter(w, crc)
+	var written int64
+
+	hdr := make([]byte, deltaHeaderSize)
+	copy(hdr, deltaMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], deltaVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(c.leafLog2))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(c.leaves))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(c.n))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(len(leaves)))
+	n, err := mw.Write(hdr)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+
+	entries := make([]byte, deltaEntrySize*len(leaves))
+	prev := -1
+	for i, leaf := range leaves {
+		if leaf <= prev || leaf >= c.leaves {
+			return written, fmt.Errorf("cpma: delta leaf %d out of order or range", leaf)
+		}
+		prev = leaf
+		st := c.leafSt(leaf)
+		binary.LittleEndian.PutUint64(entries[deltaEntrySize*i:], uint64(leaf))
+		binary.LittleEndian.PutUint32(entries[deltaEntrySize*i+8:], uint32(st.used))
+		binary.LittleEndian.PutUint32(entries[deltaEntrySize*i+12:], uint32(st.ecnt))
+	}
+	n, err = mw.Write(entries)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+
+	for _, leaf := range leaves {
+		st := c.leafSt(leaf)
+		n, err = mw.Write(st.data[:st.used])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+
+	var tail [deltaCRCSize]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	n, err = w.Write(tail[:])
+	written += int64(n)
+	return written, err
+}
+
+// ApplyDeltaFrom patches the receiver with a delta written by WriteDeltaTo
+// against the receiver's current geometry. The whole stream is read and
+// verified — CRC, structure, geometry match — before any leaf is touched,
+// so a failed apply leaves the receiver exactly as it was (recovery relies
+// on this to stop cleanly at the first corrupt delta in a chain). On
+// success the receiver's dirty window is reset: applying a delta is a load
+// operation, and mutations layered on top start a fresh window.
+func (c *CPMA) ApplyDeltaFrom(r io.Reader) error {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("cpma: delta read: %w", err)
+	}
+	if len(buf) < deltaHeaderSize+deltaCRCSize {
+		return fmt.Errorf("cpma: delta truncated (%d bytes)", len(buf))
+	}
+	body, tail := buf[:len(buf)-deltaCRCSize], buf[len(buf)-deltaCRCSize:]
+	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(tail); got != want {
+		return fmt.Errorf("cpma: delta checksum mismatch (computed %08x, stored %08x)", got, want)
+	}
+	if string(body[:8]) != deltaMagic {
+		return fmt.Errorf("cpma: bad delta magic %q", body[:8])
+	}
+	if v := binary.LittleEndian.Uint32(body[8:]); v != deltaVersion {
+		return fmt.Errorf("cpma: unsupported delta version %d (want %d)", v, deltaVersion)
+	}
+	leafLog2 := binary.LittleEndian.Uint32(body[12:])
+	leaves := binary.LittleEndian.Uint64(body[16:])
+	count := binary.LittleEndian.Uint64(body[24:])
+	entryCount := binary.LittleEndian.Uint64(body[32:])
+	if uint(leafLog2) != c.leafLog2 || leaves != uint64(c.leaves) {
+		return fmt.Errorf("cpma: delta geometry %d leaves x %d bytes does not match receiver (%d x %d)",
+			leaves, 1<<leafLog2, c.leaves, c.LeafBytes())
+	}
+	if entryCount > leaves {
+		return fmt.Errorf("cpma: delta claims %d entries over %d leaves", entryCount, leaves)
+	}
+	leafBytes := c.LeafBytes()
+	entries := body[deltaHeaderSize:]
+	if uint64(len(entries)) < entryCount*deltaEntrySize {
+		return fmt.Errorf("cpma: delta entry table truncated")
+	}
+	payload := entries[entryCount*deltaEntrySize:]
+
+	// First pass: validate every entry and the payload length before
+	// mutating anything.
+	off := uint64(0)
+	prev := -1
+	for i := uint64(0); i < entryCount; i++ {
+		e := entries[deltaEntrySize*i:]
+		leaf := binary.LittleEndian.Uint64(e)
+		used := binary.LittleEndian.Uint32(e[8:])
+		ecnt := binary.LittleEndian.Uint32(e[12:])
+		if leaf >= uint64(c.leaves) || int(leaf) <= prev {
+			return fmt.Errorf("cpma: delta leaf %d out of order or range", leaf)
+		}
+		prev = int(leaf)
+		if used > uint32(leafBytes) {
+			return fmt.Errorf("cpma: delta leaf %d used %d out of range", leaf, used)
+		}
+		if (used == 0) != (ecnt == 0) {
+			return fmt.Errorf("cpma: delta leaf %d used %d but ecnt %d", leaf, used, ecnt)
+		}
+		off += uint64(used)
+	}
+	if off != uint64(len(payload)) {
+		return fmt.Errorf("cpma: delta payload is %d bytes, entries claim %d", len(payload), off)
+	}
+
+	// Second pass: apply. leafDataW keeps COW sharing intact — applying a
+	// delta onto a cloned base only unshares the patched leaves.
+	off = 0
+	for i := uint64(0); i < entryCount; i++ {
+		e := entries[deltaEntrySize*i:]
+		leaf := int(binary.LittleEndian.Uint64(e))
+		used := int(binary.LittleEndian.Uint32(e[8:]))
+		ecnt := int(binary.LittleEndian.Uint32(e[12:]))
+		ld := c.leafDataW(leaf)
+		copy(ld, payload[off:off+uint64(used)])
+		clearBytes(ld[used:])
+		c.setLeafMeta(leaf, int32(used), int32(ecnt))
+		off += uint64(used)
+	}
+	c.n = int(count)
+	c.resetDirty()
+	return nil
+}

@@ -59,7 +59,7 @@ func (c *CPMA) Validate() error {
 func (c *CPMA) DumpLeaf(leaf int) string {
 	var b strings.Builder
 	u := c.usedOf(leaf)
-	fmt.Fprintf(&b, "leaf %d/%d: used=%d ecnt=%d cap=%d", leaf, c.leaves, u, c.ecnt[leaf], c.LeafBytes())
+	fmt.Fprintf(&b, "leaf %d/%d: used=%d ecnt=%d cap=%d", leaf, c.leaves, u, c.ecntOf(leaf), c.LeafBytes())
 	if u >= codec.HeadBytes {
 		ld := c.leafData(leaf)
 		fmt.Fprintf(&b, "\n  head=%d bytes=% x", codec.Head(ld), ld[:u])

@@ -10,12 +10,14 @@ import "repro/internal/codec"
 // used + codec.MaxGrowth <= capacity, so the shifted codes always fit.
 // Returns false if x was already present.
 func (c *CPMA) leafInsert(leaf int, x uint64) bool {
-	ld := c.leafData(leaf)
+	// Unshare up front: duplicate hits leave an unshared-but-unchanged
+	// leaf, which the COW contract allows (contents identical).
+	ld := c.leafDataW(leaf)
 	u := c.usedOf(leaf)
+	e := int32(c.ecntOf(leaf))
 	if u == 0 {
 		codec.PutHead(ld, x)
-		c.used[leaf] = codec.HeadBytes
-		c.ecnt[leaf] = 1
+		c.setLeafMeta(leaf, codec.HeadBytes, 1)
 		return true
 	}
 	head := codec.Head(ld)
@@ -29,8 +31,7 @@ func (c *CPMA) leafInsert(leaf int, x uint64) bool {
 		copy(ld[codec.HeadBytes+k:u+k], ld[codec.HeadBytes:u])
 		copy(ld[codec.HeadBytes:], code[:k])
 		codec.PutHead(ld, x)
-		c.used[leaf] = int32(u + k)
-		c.ecnt[leaf]++
+		c.setLeafMeta(leaf, int32(u+k), e+1)
 		return true
 	}
 	prev := head
@@ -49,8 +50,7 @@ func (c *CPMA) leafInsert(leaf int, x uint64) bool {
 			grow := w - k
 			copy(ld[off+w:u+grow], ld[off+k:u])
 			copy(ld[off:], code[:w])
-			c.used[leaf] = int32(u + grow)
-			c.ecnt[leaf]++
+			c.setLeafMeta(leaf, int32(u+grow), e+1)
 			return true
 		}
 		prev = cur
@@ -58,19 +58,21 @@ func (c *CPMA) leafInsert(leaf int, x uint64) bool {
 	}
 	// x is the new maximum: append one delta.
 	w := codec.Put(ld[u:], x-prev)
-	c.used[leaf] = int32(u + w)
-	c.ecnt[leaf]++
+	c.setLeafMeta(leaf, int32(u+w), e+1)
 	return true
 }
 
 // leafRemove removes x from the leaf if present, merging the neighboring
 // deltas. Removal never grows the encoding.
 func (c *CPMA) leafRemove(leaf int, x uint64) bool {
-	ld := c.leafData(leaf)
 	u := c.usedOf(leaf)
 	if u == 0 {
 		return false
 	}
+	// Unshare before the walk (misses leave an unchanged unshared leaf;
+	// see leafInsert).
+	ld := c.leafDataW(leaf)
+	e := int32(c.ecntOf(leaf))
 	head := codec.Head(ld)
 	if x < head {
 		return false
@@ -79,16 +81,14 @@ func (c *CPMA) leafRemove(leaf int, x uint64) bool {
 		if u == codec.HeadBytes {
 			// Last element gone; leaf becomes empty.
 			clearBytes(ld[:u])
-			c.used[leaf] = 0
-			c.ecnt[leaf] = 0
+			c.setLeafMeta(leaf, 0, 0)
 			return true
 		}
 		d, k := codec.Get(ld[codec.HeadBytes:])
 		copy(ld[codec.HeadBytes:u-k], ld[codec.HeadBytes+k:u])
 		clearBytes(ld[u-k : u])
 		codec.PutHead(ld, head+d)
-		c.used[leaf] = int32(u - k)
-		c.ecnt[leaf]--
+		c.setLeafMeta(leaf, int32(u-k), e-1)
 		return true
 	}
 	prev := head
@@ -106,8 +106,7 @@ func (c *CPMA) leafRemove(leaf int, x uint64) bool {
 			if off+k == u {
 				// Removing the maximum: drop the trailing delta.
 				clearBytes(ld[off:u])
-				c.used[leaf] = int32(off)
-				c.ecnt[leaf]--
+				c.setLeafMeta(leaf, int32(off), e-1)
 				return true
 			}
 			d2, k2 := codec.Get(ld[off+k:])
@@ -117,8 +116,7 @@ func (c *CPMA) leafRemove(leaf int, x uint64) bool {
 			copy(ld[off:], code[:w])
 			copy(ld[off+w:u-shrink], ld[off+k+k2:u])
 			clearBytes(ld[u-shrink : u])
-			c.used[leaf] = int32(u - shrink)
-			c.ecnt[leaf]--
+			c.setLeafMeta(leaf, int32(u-shrink), e-1)
 			return true
 		}
 	}

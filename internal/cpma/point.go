@@ -14,7 +14,7 @@ func (c *CPMA) leafForIn(x uint64, lo, hi int) int {
 	for lo <= hi {
 		mid := int(uint(lo+hi) >> 1)
 		j := mid
-		for j >= lo && c.used[j] == 0 {
+		for j >= lo && c.leafSt(j).used == 0 {
 			j--
 		}
 		if j < lo {
@@ -33,7 +33,7 @@ func (c *CPMA) leafForIn(x uint64, lo, hi int) int {
 
 func (c *CPMA) firstNonEmptyIn(lo, hi int) int {
 	for j := lo; j <= hi; j++ {
-		if c.used[j] != 0 {
+		if c.leafSt(j).used != 0 {
 			return j
 		}
 	}
@@ -42,7 +42,7 @@ func (c *CPMA) firstNonEmptyIn(lo, hi int) int {
 
 func (c *CPMA) nextHeadIn(leaf, hi int) uint64 {
 	for j := leaf + 1; j <= hi; j++ {
-		if c.used[j] != 0 {
+		if c.leafSt(j).used != 0 {
 			return c.head(j)
 		}
 	}
@@ -86,7 +86,7 @@ func (c *CPMA) Next(x uint64) (uint64, bool) {
 		return res, true
 	}
 	for j := leaf + 1; j < c.leaves; j++ {
-		if c.used[j] != 0 {
+		if c.leafSt(j).used != 0 {
 			return c.head(j), true
 		}
 	}
@@ -107,7 +107,7 @@ func (c *CPMA) Max() (uint64, bool) {
 		return 0, false
 	}
 	for j := c.leaves - 1; j >= 0; j-- {
-		if c.used[j] == 0 {
+		if c.leafSt(j).used == 0 {
 			continue
 		}
 		var last uint64
@@ -163,7 +163,7 @@ func (c *CPMA) Remove(x uint64) bool {
 }
 
 func (c *CPMA) rebalanceLeaf(leaf int, checkUpper, checkLower bool) {
-	if checkLower && len(c.data) <= minCapacity {
+	if checkLower && c.Capacity() <= minCapacity {
 		return
 	}
 	plan := c.tree.WalkUp(c.usedOf, leaf, checkUpper, checkLower)

@@ -84,7 +84,7 @@ func (c *CPMA) LeafMap(leaf int, f func(uint64) bool) bool {
 }
 
 // LeafLen returns the number of keys stored in one leaf.
-func (c *CPMA) LeafLen(leaf int) int { return int(c.ecnt[leaf]) }
+func (c *CPMA) LeafLen(leaf int) int { return c.ecntOf(leaf) }
 
 // Sum returns the sum (mod 2^64) of all keys with leaf-level parallelism.
 func (c *CPMA) Sum() uint64 {

@@ -59,7 +59,7 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // metadata, so checkpoint-size stats stay comparable with the clone-size
 // stats the snapshot machinery reports.
 func (c *CPMA) EncodedSize() uint64 {
-	return uint64(slabHeaderSize + 8*c.leaves + len(c.data) + slabCRCSize)
+	return uint64(slabHeaderSize + 8*c.leaves + c.Capacity() + slabCRCSize)
 }
 
 // WriteTo serializes the CPMA to w (implementing io.WriterTo) and returns
@@ -84,11 +84,10 @@ func (c *CPMA) WriteTo(w io.Writer) (int64, error) {
 	}
 
 	meta := make([]byte, 8*c.leaves)
-	for i, u := range c.used {
-		binary.LittleEndian.PutUint32(meta[4*i:], uint32(u))
-	}
-	for i, e := range c.ecnt {
-		binary.LittleEndian.PutUint32(meta[4*c.leaves+4*i:], uint32(e))
+	for i := 0; i < c.leaves; i++ {
+		st := c.leafSt(i)
+		binary.LittleEndian.PutUint32(meta[4*i:], uint32(st.used))
+		binary.LittleEndian.PutUint32(meta[4*c.leaves+4*i:], uint32(st.ecnt))
 	}
 	n, err = mw.Write(meta)
 	written += int64(n)
@@ -96,10 +95,14 @@ func (c *CPMA) WriteTo(w io.Writer) (int64, error) {
 		return written, err
 	}
 
-	n, err = mw.Write(c.data)
-	written += int64(n)
-	if err != nil {
-		return written, err
+	// Leaf slabs in order reproduce the v1 flat data array byte for byte;
+	// COW sharing is invisible to the format.
+	for i := 0; i < c.leaves; i++ {
+		n, err = mw.Write(c.leafSt(i).data)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
 	}
 
 	var tail [slabCRCSize]byte
@@ -163,10 +166,9 @@ func ReadFrom(r io.Reader, opts *Options) (*CPMA, error) {
 	}
 
 	leafBytes := 1 << leafLog2
-	used := make([]int32, leaves)
-	ecnt := make([]int32, leaves)
+	lf := leafSpineOver(data, int(leaves), leafBytes)
 	total := uint64(0)
-	for i := range used {
+	for i := 0; i < int(leaves); i++ {
 		u := int32(binary.LittleEndian.Uint32(meta[4*i:]))
 		e := int32(binary.LittleEndian.Uint32(meta[4*int(leaves)+4*i:]))
 		if u < 0 || int(u) > leafBytes {
@@ -175,8 +177,9 @@ func ReadFrom(r io.Reader, opts *Options) (*CPMA, error) {
 		if e < 0 || (u == 0) != (e == 0) {
 			return nil, fmt.Errorf("cpma: slab leaf %d used %d but ecnt %d", i, u, e)
 		}
-		used[i] = u
-		ecnt[i] = e
+		st := &lf[i>>chunkLog].Load()[i&chunkMask]
+		st.used = u
+		st.ecnt = e
 		total += uint64(e)
 	}
 	if total != count {
@@ -188,14 +191,16 @@ func ReadFrom(r io.Reader, opts *Options) (*CPMA, error) {
 		o = *opts
 	}
 	c := &CPMA{
-		data:     data,
-		used:     used,
-		ecnt:     ecnt,
+		lf:       lf,
 		leafLog2: uint(leafLog2),
 		leaves:   int(leaves),
 		n:        int(count),
 		opt:      o.withDefaults(),
 	}
 	c.tree = pmatree.New(c.leaves, leafBytes, effectiveBounds(c.opt.Bounds, leafBytes))
+	c.ownAllChunks()
+	// A freshly loaded slab is clean: mutations applied on top (e.g. WAL
+	// replay during recovery) accumulate into the dirty window naturally.
+	c.resetDirty()
 	return c, nil
 }

@@ -1,0 +1,136 @@
+package experiments
+
+// The publish/checkpoint cost sweep: the acceptance experiment for the
+// leaf-granular COW clones and delta checkpoints. It drives the full
+// durable pipeline — async ingest, writer-published snapshot handles,
+// explicit checkpoints — and compares what the store actually copied and
+// wrote against the pre-COW baseline (a full deep copy per publication,
+// a full slab per checkpoint). Two drain shapes bound the answer:
+// uniform random drains dirty leaves everywhere (worst case — the ratio
+// approaches the spine-only floor as the set grows), while clustered
+// drains (contiguous key runs, the monotone-ID shape) touch a handful of
+// leaves, which is where O(dirty) beats O(n) by orders of magnitude.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/persist"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// CloneCostRow is one (workload, size) cell of the sweep. Ratios are
+// baseline/actual: how many times cheaper the COW/delta machinery is
+// than full copies at the same publication and checkpoint cadence.
+type CloneCostRow struct {
+	Workload    string  `json:"workload"` // "uniform" | "clustered"
+	Keys        int     `json:"keys_per_shard"`
+	Rounds      int     `json:"rounds"`
+	Batch       int     `json:"batch"`
+	Publishes   uint64  `json:"publishes"`
+	CloneMB     float64 `json:"clone_mb"`     // bytes actually copied for those handles
+	FullMB      float64 `json:"full_copy_mb"` // deep-copy baseline for the same handles
+	CloneRatio  float64 `json:"clone_ratio"`  // FullMB / CloneMB
+	Checkpoints uint64  `json:"checkpoints"`  // full base slabs in the window
+	Deltas      uint64  `json:"delta_checkpoints"`
+	CkptMB      float64 `json:"checkpoint_mb"`      // bytes written (bases + deltas)
+	FullCkptMB  float64 `json:"full_checkpoint_mb"` // one-base-per-event baseline
+	CkptRatio   float64 `json:"checkpoint_ratio"`   // FullCkptMB / CkptMB
+	IngestTP    float64 `json:"ingest_keys_per_sec"`
+}
+
+// CloneCostSweep measures publish and checkpoint cost per drain at each
+// steady-state size, for uniform and clustered drains. batch caps the
+// drain size; each cell uses size/500 clamped to [256, batch], keeping
+// drains proportional to the set the way steady-state ingest is — a
+// fixed-size clustered run into a tiny set forces a PMA redistribution
+// window that is most of the array, which measures the redistribution
+// bound, not the COW machinery. dir hosts the throwaway stores (one per
+// cell, removed as it goes).
+func CloneCostSweep(cfg MicroConfig, sizes []int, rounds, batch int, dir string) ([]CloneCostRow, error) {
+	var rows []CloneCostRow
+	for _, size := range sizes {
+		b := min(max(size/500, 256), batch)
+		for _, wl := range []string{"uniform", "clustered"} {
+			row, err := cloneCostCell(cfg, wl, size, rounds, b,
+				filepath.Join(dir, fmt.Sprintf("%s-%d", wl, size)))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func cloneCostCell(cfg MicroConfig, wl string, size, rounds, batch int, dir string) (CloneCostRow, error) {
+	row := CloneCostRow{Workload: wl, Keys: size, Rounds: rounds, Batch: batch}
+	opt := &shard.Options{
+		Dir:                    dir,
+		CheckpointEveryBatches: -1, // explicit checkpoints only: one per round
+		CompactEveryDeltas:     64, // no compaction inside the measurement window
+	}
+	s, _, err := persist.OpenSharded(1, opt)
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+	defer s.Close()
+
+	r := workload.NewRNG(cfg.Seed)
+	s.InsertBatch(workload.Uniform(r, size, workload.UniformBits), false)
+	if err := s.Checkpoint(); err != nil { // the base slab the deltas chain to
+		return row, err
+	}
+	ss0 := s.SnapshotStats()
+	ps0 := s.PersistStats()
+	// Cost of one full slab at steady-state size: the per-event baseline a
+	// store without deltas would pay for every checkpoint in the window.
+	fullCkpt := ps0.CheckpointBytes
+
+	start := time.Now()
+	for round := 0; round < rounds; round++ {
+		var keys []uint64
+		sorted := false
+		if wl == "clustered" {
+			base := 1 + r.Uint64()%((uint64(1)<<workload.UniformBits)-uint64(batch)-1)
+			keys = make([]uint64, batch)
+			for i := range keys {
+				keys[i] = base + uint64(i)
+			}
+			sorted = true
+		} else {
+			keys = workload.Uniform(r, batch, workload.UniformBits)
+		}
+		s.InsertBatch(keys, sorted)
+		if err := s.Checkpoint(); err != nil {
+			return row, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	ss := s.SnapshotStats()
+	ps := s.PersistStats()
+	row.Publishes = ss.Publishes - ss0.Publishes
+	cloneB := ss.CloneBytes - ss0.CloneBytes
+	fullB := ss.FullCopyBytes - ss0.FullCopyBytes
+	row.CloneMB = float64(cloneB) / (1 << 20)
+	row.FullMB = float64(fullB) / (1 << 20)
+	if cloneB > 0 {
+		row.CloneRatio = float64(fullB) / float64(cloneB)
+	}
+	row.Checkpoints = ps.Checkpoints - ps0.Checkpoints
+	row.Deltas = ps.DeltaCheckpoints - ps0.DeltaCheckpoints
+	ckptB := (ps.CheckpointBytes + ps.DeltaBytes) - (ps0.CheckpointBytes + ps0.DeltaBytes)
+	fullCkptB := (row.Checkpoints + row.Deltas) * fullCkpt
+	row.CkptMB = float64(ckptB) / (1 << 20)
+	row.FullCkptMB = float64(fullCkptB) / (1 << 20)
+	if ckptB > 0 {
+		row.CkptRatio = float64(fullCkptB) / float64(ckptB)
+	}
+	row.IngestTP = float64(rounds*batch) / elapsed.Seconds()
+	return row, nil
+}

@@ -36,13 +36,22 @@ func checkpointName(seq uint64) string {
 // writeCheckpoint serializes set (an immutable published handle) covering
 // WAL records up to and including seq, atomically placing it in dir.
 // Returns the slab payload size (EncodedSize — the checkpoint-bytes stat).
+//
+// The temp file gets a unique name (CreateTemp), not a fixed one: an
+// explicit Checkpoint call and the background checkpointer both reach
+// here under ckptMu today, but a fixed "ckpt.tmp" made that mutual
+// exclusion load-bearing for file integrity — with two writers, one
+// renames the shared temp file into place while the other keeps writing
+// through its still-open fd into the now-final file, defeating the
+// write-then-rename atomicity this format depends on. Unique names keep
+// a lock bug from escalating into a corrupt durable checkpoint.
 func writeCheckpoint(dir string, shardID int, seq uint64, set *cpma.CPMA) (uint64, error) {
 	payloadLen := set.EncodedSize()
-	tmp := filepath.Join(dir, "ckpt.tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := os.CreateTemp(dir, "ckpt-*.tmp")
 	if err != nil {
 		return 0, err
 	}
+	tmp := f.Name()
 	bw := bufio.NewWriterSize(f, 1<<16)
 	crc := crc32.New(castagnoli)
 	w := io.MultiWriter(bw, crc)
@@ -134,6 +143,123 @@ func loadCheckpoint(path string, shardID int, seq uint64, opts *cpma.Options) (*
 		return nil, fmt.Errorf("persist: checkpoint %s: %w", filepath.Base(path), err)
 	}
 	return set, nil
+}
+
+const (
+	dckptMagic      = "CPMADCK1"
+	dckptVersion    = 1
+	dckptHeaderSize = 8 + 4 + 4 + 8 + 8 + 8 + 8 // magic, version, shard, seq, prevSeq, baseSeq, payload len
+	dckptCRCSize    = 4
+)
+
+func deltaName(seq uint64) string {
+	return fmt.Sprintf("delta-%020d.dckpt", seq)
+}
+
+// writeDeltaCheckpoint serializes the dirty leaves of set (an immutable
+// published handle covering WAL records up to and including seq) as a
+// cpma delta patch, atomically placing it in dir. The header chains the
+// file: prevSeq is the checkpoint (base or delta) this patch applies on
+// top of, baseSeq the full slab anchoring the chain — recovery applies a
+// delta only when both link up, so a delta from an abandoned chain can
+// never be patched onto the wrong state. Returns the delta payload size
+// (the delta-bytes stat).
+func writeDeltaCheckpoint(dir string, shardID int, seq, prevSeq, baseSeq uint64, set *cpma.CPMA, leaves []int) (uint64, error) {
+	payloadLen := set.DeltaEncodedSize(leaves)
+	f, err := os.CreateTemp(dir, "delta-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	bw := bufio.NewWriterSize(f, 1<<16)
+	crc := crc32.New(castagnoli)
+	w := io.MultiWriter(bw, crc)
+
+	var hdr [dckptHeaderSize]byte
+	copy(hdr[:], dckptMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], dckptVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(shardID))
+	binary.LittleEndian.PutUint64(hdr[16:], seq)
+	binary.LittleEndian.PutUint64(hdr[24:], prevSeq)
+	binary.LittleEndian.PutUint64(hdr[32:], baseSeq)
+	binary.LittleEndian.PutUint64(hdr[40:], payloadLen)
+	fail := func(err error) (uint64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fail(err)
+	}
+	n, err := set.WriteDeltaTo(w, leaves)
+	if err != nil {
+		return fail(err)
+	}
+	if uint64(n) != payloadLen {
+		return fail(fmt.Errorf("persist: delta wrote %d bytes, DeltaEncodedSize said %d", n, payloadLen))
+	}
+	var tail [dckptCRCSize]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	if _, err := bw.Write(tail[:]); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	final := filepath.Join(dir, deltaName(seq))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	return payloadLen, nil
+}
+
+// loadDelta reads and verifies one delta checkpoint file's framing —
+// whole-file CRC, header sanity — returning its chain links and the raw
+// cpma delta payload. The payload's own structure is verified by
+// cpma.ApplyDeltaFrom before anything is mutated.
+func loadDelta(path string, shardID int, seq uint64) (prevSeq, baseSeq uint64, payload []byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	name := filepath.Base(path)
+	if len(data) < dckptHeaderSize+dckptCRCSize {
+		return 0, 0, nil, fmt.Errorf("persist: delta %s truncated (%d bytes)", name, len(data))
+	}
+	body := data[:len(data)-dckptCRCSize]
+	want := binary.LittleEndian.Uint32(data[len(data)-dckptCRCSize:])
+	if crc32.Checksum(body, castagnoli) != want {
+		return 0, 0, nil, fmt.Errorf("persist: delta %s: checksum mismatch", name)
+	}
+	if string(data[:8]) != dckptMagic {
+		return 0, 0, nil, fmt.Errorf("persist: delta %s: bad magic", name)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != dckptVersion {
+		return 0, 0, nil, fmt.Errorf("persist: delta %s: unsupported version %d", name, v)
+	}
+	if got := int(binary.LittleEndian.Uint32(data[12:])); got != shardID {
+		return 0, 0, nil, fmt.Errorf("persist: delta %s: belongs to shard %d, not %d", name, got, shardID)
+	}
+	if got := binary.LittleEndian.Uint64(data[16:]); got != seq {
+		return 0, 0, nil, fmt.Errorf("persist: delta %s: header seq %d does not match name", name, got)
+	}
+	prevSeq = binary.LittleEndian.Uint64(data[24:])
+	baseSeq = binary.LittleEndian.Uint64(data[32:])
+	payloadLen := binary.LittleEndian.Uint64(data[40:])
+	if payloadLen != uint64(len(body)-dckptHeaderSize) {
+		return 0, 0, nil, fmt.Errorf("persist: delta %s: payload length mismatch", name)
+	}
+	return prevSeq, baseSeq, body[dckptHeaderSize:], nil
 }
 
 // manifest records the set geometry the store was created with; reopening

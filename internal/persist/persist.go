@@ -19,8 +19,12 @@
 //	                                 (absent until the first rebalance)
 //	dir/shard-NNNN/wal-<seq20>.log   WAL segments; <seq20> is the sequence
 //	                                 number of the segment's first record
-//	dir/shard-NNNN/ckpt-<seq20>.ckpt slab checkpoints; <seq20> is the last
-//	                                 record sequence the state reflects
+//	dir/shard-NNNN/ckpt-<seq20>.ckpt full (base) slab checkpoints; <seq20>
+//	                                 is the last record sequence the state
+//	                                 reflects
+//	dir/shard-NNNN/delta-<seq20>.dckpt delta checkpoints: the dirty leaves
+//	                                 since the previous checkpoint in the
+//	                                 chain, patched onto a named base
 //
 // Every WAL record frames one applied batch: a little-endian length and
 // CRC32C header, then kind (insert/remove/moveIn/moveOut), the record's
@@ -69,19 +73,43 @@
 //     captured in a slab checkpoint and the WAL prefix it covers is
 //     truncated (recovery work becomes proportional to the log tail).
 //
-// Recovery (Open) processes each shard independently: load the newest
-// checkpoint that passes its CRC and cpma Validate — falling back to the
-// previous one, which is retained exactly for this — then replay the WAL
-// tail in sequence order, skipping records the checkpoint already covers,
-// and stop at the first torn or corrupt record, truncating the log there
-// (later segments, unreachable past the gap, are deleted). The recovered
-// state is always a per-shard prefix of the appended batch history:
-// synced batches are never lost, torn tails are cleanly dropped.
+// # Delta checkpoints
 //
-// Checkpoint truncation keeps the two newest checkpoints per shard and
-// deletes only WAL segments covered by the *older* of them, so a
-// bit-rotted newest checkpoint never strands the log tail that the
-// fallback needs.
+// The CPMA's copy-on-write clones report which leaves changed between
+// published handles (cpma.DirtySince), and checkpoints exploit it: once
+// a shard has a full base slab on disk, subsequent checkpoints write
+// only the dirty leaves as a delta file (cpma.WriteDeltaTo) chained to
+// that base — each delta's header names the base it anchors to and the
+// checkpoint it patches on top of. Checkpoint I/O then scales with how
+// much changed, not with shard size, exactly as a published clone's
+// memory cost does. A chain is compacted back into a fresh base every
+// Options.CompactEveryDeltas deltas, and whenever the dirty window is
+// unknown or a geometry rebuild dirtied everything.
+//
+// Recovery (Open) processes each shard independently: load the newest
+// base checkpoint that passes its CRC and cpma Validate — falling back
+// to the retained previous one — then walk its delta chain, applying
+// each delta that verifies (whole-file CRC, chain linkage, structural
+// checks, and the strict semantic validator, each applied onto a COW
+// clone so a late failure leaves the previous link intact). The chain
+// ends at the first failure; then replay the WAL tail in sequence order,
+// skipping records the chain already covers, and stop at the first torn
+// or corrupt record, truncating the log there (later segments,
+// unreachable past the gap, are deleted). The recovered state is always
+// a per-shard prefix of the appended batch history: synced batches are
+// never lost, torn tails are cleanly dropped.
+//
+// # Retention
+//
+// Only base checkpoints advance the deletion floor. Writing a base
+// deletes checkpoint files — bases and deltas — from chains older than
+// the previous base, and WAL segments whose records the previous base
+// covers; writing a delta deletes nothing. The store therefore always
+// holds its two newest base chains, and the WAL tail above the older
+// base, so any single corrupt file — the newest base, any delta — still
+// leaves a verifiable recovery point with the log needed to replay
+// forward from it. A bit-rotted newest base falls back to the previous
+// one and can even pick up *its* retained delta chain on the way.
 package persist
 
 import (
@@ -96,6 +124,7 @@ const (
 	DefaultSyncEvery              = 32
 	DefaultSyncBytes              = 1 << 20
 	DefaultCheckpointEveryBatches = 4096
+	DefaultCompactEveryDeltas     = 8
 )
 
 // Options configures a Store. The zero value of every field selects a
@@ -115,6 +144,12 @@ type Options struct {
 	// CheckpointEveryBatches checkpoints a shard once this many records
 	// accumulate past its last checkpoint.
 	CheckpointEveryBatches int
+	// CompactEveryDeltas bounds a shard's delta-checkpoint chain: after
+	// this many deltas against one base, the next checkpoint is a fresh
+	// full base slab (which also lets retention reap the older chain). A
+	// negative value disables delta checkpoints entirely — every
+	// checkpoint is a base, restoring the pre-delta behavior.
+	CompactEveryDeltas int
 	// Set configures the recovered CPMAs (nil for the paper's defaults);
 	// it must match the options the live set runs with.
 	Set *cpma.Options
@@ -148,6 +183,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.CheckpointEveryBatches == 0 {
 		o.CheckpointEveryBatches = DefaultCheckpointEveryBatches
+	}
+	if o.CompactEveryDeltas == 0 {
+		o.CompactEveryDeltas = DefaultCompactEveryDeltas
 	}
 	if o.KeyBits <= 0 || o.KeyBits > 64 {
 		o.KeyBits = 64

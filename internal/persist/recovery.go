@@ -1,18 +1,25 @@
 package persist
 
 // Crash recovery. Each shard recovers independently: load the newest
-// checkpoint that verifies end to end (CRC + cpma.Validate), falling back
-// to the retained previous one, then replay the WAL tail in sequence
-// order on top of it. The first record that fails — torn frame, CRC
-// mismatch, sequence gap — ends the log: the segment is truncated at that
-// boundary and any later segments (unreachable past the gap) are deleted,
-// so the log on disk again equals exactly the state that was recovered.
-// Replay is idempotent by construction (InsertBatch/RemoveBatch are
-// set-semantic and replay preserves the original order), which is why a
-// checkpoint only needs to cover a *prefix* of the log: re-applying
-// covered records converges to the same state.
+// base checkpoint that verifies end to end (CRC + cpma.Validate), fall
+// back to the retained previous one if it does not, walk the base's
+// delta chain as far as it verifies and links, then replay the WAL tail
+// in sequence order on top. The first delta that fails — bad CRC, broken
+// chain linkage, structural or semantic rejection — simply ends the
+// chain: the state at the previous link is a valid recovery point, and
+// the WAL retention floor (which only base checkpoints advance) still
+// holds every record above the base, so nothing acknowledged is lost.
+// The first WAL record that fails — torn frame, CRC mismatch, sequence
+// gap — ends the log: the segment is truncated at that boundary and any
+// later segments (unreachable past the gap) are deleted, so the log on
+// disk again equals exactly the state that was recovered. Replay is
+// idempotent by construction (InsertBatch/RemoveBatch are set-semantic
+// and replay preserves the original order), which is why the checkpoint
+// chain only needs to cover a *prefix* of the log: re-applying covered
+// records converges to the same state.
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -22,13 +29,20 @@ import (
 
 // recoverShard rebuilds one shard's CPMA from its directory, repairs the
 // log (torn-tail truncation, orphan deletion), and leaves sh ready for
-// appending: sh.seq is the last valid record, sh.ckptSeq the loaded
-// checkpoint's coverage, and a fresh active segment is open.
+// appending: sh.seq is the last valid record, sh.ckptSeq the recovered
+// chain's tip, sh.baseSeq its base, and a fresh active segment is open.
 func (st *Store) recoverShard(sh *storeShard) (*cpma.CPMA, error) {
-	// Leftover temp files from an interrupted checkpoint are garbage.
-	os.Remove(filepath.Join(sh.dir, "ckpt.tmp"))
+	// Leftover temp files from interrupted checkpoint or delta writes are
+	// garbage (CreateTemp names them uniquely, so they accumulate if not
+	// swept).
+	if tmps, err := filepath.Glob(filepath.Join(sh.dir, "*.tmp")); err == nil {
+		for _, t := range tmps {
+			os.Remove(t)
+		}
+	}
 
-	// Newest verifiable checkpoint wins; older ones are only fallbacks.
+	// Newest verifiable base checkpoint wins; older ones are only
+	// fallbacks.
 	ckptSeqs, err := listSeqFiles(sh.dir, "ckpt-", ".ckpt")
 	if err != nil {
 		return nil, err
@@ -45,12 +59,48 @@ func (st *Store) recoverShard(sh *storeShard) (*cpma.CPMA, error) {
 	if set == nil {
 		set = cpma.New(st.opt.Set)
 	}
-	// Any checkpoint newer than the winner failed verification. Delete it
-	// now: appends are about to resume numbering from the recovered
-	// position, which can sit below the rejected checkpoint's coverage —
-	// if the file later became readable again (a transient I/O error), a
-	// future recovery would prefer it and resurrect the very state this
-	// recovery rejected while skipping the reused sequence numbers.
+
+	// Walk the base's delta chain: ascending sequences past the base,
+	// each linking to the chain (its baseSeq names this base, its prevSeq
+	// the current tip) and verifying end to end. Each delta is applied
+	// onto a COW clone of the current link, so a delta that fails late —
+	// the strict semantic validator runs after the patch — costs nothing:
+	// the clone is discarded and the previous link, untouched, is the
+	// recovery point. Deltas at or below the base belong to the retained
+	// previous chain (fallback material, skipped here, reaped by the next
+	// base checkpoint).
+	deltaSeqs, err := listSeqFiles(sh.dir, "delta-", ".dckpt")
+	if err != nil {
+		return nil, err
+	}
+	tip := base
+	applied := 0
+	for _, ds := range deltaSeqs {
+		if ds <= base || base == 0 {
+			continue
+		}
+		prevSeq, baseRef, payload, lerr := loadDelta(filepath.Join(sh.dir, deltaName(ds)), sh.id, ds)
+		if lerr != nil || baseRef != base || prevSeq != tip {
+			break
+		}
+		next := set.Clone()
+		if err := next.ApplyDeltaFrom(bytes.NewReader(payload)); err != nil {
+			break
+		}
+		if err := next.Validate(); err != nil {
+			break
+		}
+		set, tip = next, ds
+		applied++
+	}
+
+	// Anything newer than the recovered chain failed verification (a base
+	// newer than the winner, a delta past the tip). Delete it now:
+	// appends are about to resume numbering from the recovered position,
+	// which can sit below the rejected file's coverage — if it later
+	// became readable again (a transient I/O error), a future recovery
+	// would prefer it and resurrect the very state this recovery rejected
+	// while skipping the reused sequence numbers.
 	for _, cs := range ckptSeqs {
 		if cs > base {
 			if err := os.Remove(filepath.Join(sh.dir, checkpointName(cs))); err != nil && !os.IsNotExist(err) {
@@ -58,26 +108,36 @@ func (st *Store) recoverShard(sh *storeShard) (*cpma.CPMA, error) {
 			}
 		}
 	}
-	sh.ckptSeq.Store(base)
-	sh.prevCkptSeq = base
+	for _, ds := range deltaSeqs {
+		if ds > tip {
+			if err := os.Remove(filepath.Join(sh.dir, deltaName(ds))); err != nil && !os.IsNotExist(err) {
+				return nil, err
+			}
+		}
+	}
+	sh.ckptSeq.Store(tip)
+	sh.baseSeq = base
+	sh.prevBaseSeq = base
+	sh.deltasSinceBase = applied
 
 	segSeqs, err := listSeqFiles(sh.dir, "wal-", ".log")
 	if err != nil {
 		return nil, err
 	}
 	// chain walks the record sequence from the oldest segment on disk,
-	// which legitimately starts before the checkpoint (segments are only
-	// deleted whole); records with seq <= base are chain-validated but not
-	// re-applied... they could be, identically — replay converges from any
-	// starting point at or before the checkpoint's coverage — skipping
-	// them just saves the work.
-	chain := base
+	// which legitimately starts before the recovered chain tip (segments
+	// are only deleted whole, and the deletion floor trails a full base
+	// behind the tip); records with seq <= tip are chain-validated but
+	// not re-applied... they could be, identically — replay converges
+	// from any starting point at or before the chain's coverage —
+	// skipping them just saves the work.
+	chain := tip
 	if len(segSeqs) > 0 {
-		if segSeqs[0] > base+1 {
-			// The log starts after the checkpoint's coverage ends: records
-			// in between are gone. That cannot happen under this store's
-			// retention rule, so refuse to silently lose data.
-			return nil, fmt.Errorf("WAL gap: checkpoint covers seq %d but oldest segment starts at %d", base, segSeqs[0])
+		if segSeqs[0] > tip+1 {
+			// The log starts after the recovered chain's coverage ends:
+			// records in between are gone. That cannot happen under this
+			// store's retention rule, so refuse to silently lose data.
+			return nil, fmt.Errorf("WAL gap: checkpoint chain covers seq %d but oldest segment starts at %d", tip, segSeqs[0])
 		}
 		chain = segSeqs[0] - 1
 	}
@@ -122,7 +182,7 @@ func (st *Store) recoverShard(sh *storeShard) (*cpma.CPMA, error) {
 				break
 			}
 			chain = rec.seq
-			if rec.seq > base && len(rec.keys) > 0 {
+			if rec.seq > tip && len(rec.keys) > 0 {
 				// Rebalance barriers replay like the batches they encode: a
 				// recMoveIn inserts the keys the move carried in, a
 				// recMoveOut removes the keys it carried out. Cross-shard
@@ -147,19 +207,19 @@ func (st *Store) recoverShard(sh *storeShard) (*cpma.CPMA, error) {
 	}
 
 	last := chain
-	if last < base {
-		// The checkpoint is ahead of the surviving log (a crash can tear
-		// unsynced records the checkpoint's in-memory state already
-		// covered). The log below base is fully subsumed — drop it so the
-		// on-disk chain restarts cleanly at base+1 and future recoveries
-		// see no gap.
+	if last < tip {
+		// The checkpoint chain is ahead of the surviving log (a crash can
+		// tear unsynced records the chain's in-memory state already
+		// covered). The log below the tip is fully subsumed — drop it so
+		// the on-disk record chain restarts cleanly at tip+1 and future
+		// recoveries see no gap.
 		for _, fs := range segSeqs {
 			path := filepath.Join(sh.dir, segmentName(fs))
 			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 				return nil, err
 			}
 		}
-		last = base
+		last = tip
 	}
 
 	// Appends resume in a fresh segment right after the last valid record.

@@ -10,6 +10,7 @@ import (
 	"syscall"
 
 	"repro/internal/cpma"
+	"repro/internal/parallel"
 	"repro/internal/shard"
 )
 
@@ -48,6 +49,8 @@ type Store struct {
 	fsyncs     atomic.Uint64
 	ckpts      atomic.Uint64
 	ckptBytes  atomic.Uint64
+	deltaCkpts atomic.Uint64
+	deltaBytes atomic.Uint64
 	truncSegs  atomic.Uint64
 	moveRecs   atomic.Uint64
 	movedKeys  atomic.Uint64
@@ -83,15 +86,30 @@ type storeShard struct {
 
 	// pub is the latest published frozen handle and the sequence it
 	// covers; the shard writer stores it, the checkpointer loads it.
-	pubMu  sync.Mutex
-	pubSet *cpma.CPMA
-	pubSeq uint64
+	// pendingAll/pendingDirty accumulate the dirty-leaf windows of every
+	// handle published since the checkpointer's last capture: each handle
+	// carries the leaves mutated since the previous publish
+	// (cpma.DirtySince), and their union is exactly the leaf set the next
+	// delta checkpoint must include. pendingAll means the window is
+	// unknown or spans a rebuild — the next checkpoint must be a full
+	// base slab.
+	pubMu        sync.Mutex
+	pubSet       *cpma.CPMA
+	pubSeq       uint64
+	pendingAll   bool
+	pendingDirty *parallel.Bitset
 
-	// ckptSeq is the sequence covered by the newest durable checkpoint;
-	// prevCkptSeq the one before it (the WAL deletion floor — see the
-	// two-checkpoint retention note in the package doc).
-	ckptSeq     atomic.Uint64
-	prevCkptSeq uint64 // checkpointer only (under ckptMu)
+	// ckptSeq is the sequence covered by the newest durable checkpoint —
+	// base or delta, the tip of the chain (Append's trigger reads it).
+	// The rest is the checkpointer's chain state, touched only under
+	// ckptMu: baseSeq is the full slab the live delta chain patches (0 =
+	// none yet), prevBaseSeq the previous chain's base — the file/WAL
+	// deletion floor, see the retention note in the package doc — and
+	// deltasSinceBase the chain length, bounded by CompactEveryDeltas.
+	ckptSeq         atomic.Uint64
+	baseSeq         uint64
+	prevBaseSeq     uint64
+	deltasSinceBase int
 }
 
 func shardDirName(p int) string { return fmt.Sprintf("shard-%04d", p) }
@@ -243,6 +261,7 @@ func OpenSharded(shards int, sopts *shard.Options) (*shard.Sharded, *Store, erro
 		SyncEvery:              so.SyncEvery,
 		SyncBytes:              so.SyncBytes,
 		CheckpointEveryBatches: so.CheckpointEveryBatches,
+		CompactEveryDeltas:     so.CompactEveryDeltas,
 		Set:                    so.Set,
 		Partition:              so.Partition,
 		KeyBits:                so.KeyBits,
@@ -401,14 +420,51 @@ func (st *Store) Synced(p int) error {
 
 // Published records shard p's latest frozen handle (shard.Journal). The
 // caller is the shard's writer goroutine, so every record it appended is
-// covered by this handle and sh.seq is stable for the read.
+// covered by this handle and sh.seq is stable for the read. A handle not
+// seen before carries a dirty window — the leaves mutated since the
+// previous clone — which is folded into the shard's pending accumulator
+// for the next delta checkpoint. Re-reports of the same handle (flush
+// tokens on an idle shard re-publish without new mutations) carry no new
+// dirt and are deduplicated by pointer.
 func (st *Store) Published(p int, set *cpma.CPMA) {
 	sh := st.shards[p]
 	seq := sh.seq.Load()
 	sh.pubMu.Lock()
-	sh.pubSet = set
+	if set != sh.pubSet {
+		all, bits := set.DirtySince()
+		sh.noteDirtyLocked(all, bits)
+		sh.pubSet = set
+	}
 	sh.pubSeq = seq
 	sh.pubMu.Unlock()
+}
+
+// noteDirtyLocked folds one published dirty window into the pending
+// accumulator. Caller holds pubMu. A nil bitset or an explicit all means
+// the window is unknown (a handle that never went through Clone) or
+// spans a geometry rebuild; either way every leaf is suspect and the
+// next checkpoint must be a full base.
+func (sh *storeShard) noteDirtyLocked(all bool, bits *parallel.Bitset) {
+	if sh.pendingAll {
+		return
+	}
+	if all || bits == nil {
+		sh.pendingAll = true
+		sh.pendingDirty = nil
+		return
+	}
+	if sh.pendingDirty == nil {
+		// The handle's bitset is frozen at Clone and may still be read by
+		// others; the accumulator mutates, so it takes its own copy.
+		sh.pendingDirty = bits.Clone()
+		return
+	}
+	if !sh.pendingDirty.Or(bits) {
+		// Length mismatch: a rebuild changed the leaf count between
+		// windows without reporting all (defensive — it should have).
+		sh.pendingAll = true
+		sh.pendingDirty = nil
+	}
 }
 
 // Stats returns the store's counters (shard.Journal).
@@ -420,6 +476,8 @@ func (st *Store) Stats() shard.PersistStats {
 		Fsyncs:            st.fsyncs.Load(),
 		Checkpoints:       st.ckpts.Load(),
 		CheckpointBytes:   st.ckptBytes.Load(),
+		DeltaCheckpoints:  st.deltaCkpts.Load(),
+		DeltaBytes:        st.deltaBytes.Load(),
 		TruncatedSegments: st.truncSegs.Load(),
 		MoveRecords:       st.moveRecs.Load(),
 		MovedKeys:         st.movedKeys.Load(),
@@ -460,56 +518,95 @@ func (st *Store) Checkpoint() error {
 
 // checkpointShard checkpoints one shard if its published state covers at
 // least minAdvance records past the last checkpoint. Caller holds ckptMu.
+//
+// The checkpoint is a delta against the current base when the pending
+// dirty window is known and the chain is shorter than the compaction
+// cadence, otherwise a fresh full base slab. Only a base moves the
+// retention floor: the delta path deletes nothing, so any single
+// corrupt file in the live chain still leaves the previous base — and
+// the WAL tail above it — available for fallback.
 func (st *Store) checkpointShard(sh *storeShard, minAdvance uint64) error {
+	// Capture-and-swap the published handle and its accumulated dirty
+	// window under one lock acquisition: dirt reported after this point
+	// belongs to the next checkpoint, dirt captured here is consumed by
+	// this one (or re-merged by restore if it skips or fails).
 	sh.pubMu.Lock()
 	set, seq := sh.pubSet, sh.pubSeq
+	all, dirtyBits := sh.pendingAll, sh.pendingDirty
+	sh.pendingAll, sh.pendingDirty = false, nil
 	sh.pubMu.Unlock()
+	restore := func() {
+		sh.pubMu.Lock()
+		sh.noteDirtyLocked(all, dirtyBits)
+		sh.pubMu.Unlock()
+	}
 	cur := sh.ckptSeq.Load()
 	if set == nil || seq < cur+minAdvance {
+		restore()
 		return nil
+	}
+
+	writeDelta := sh.baseSeq != 0 && !all && dirtyBits != nil &&
+		st.opt.CompactEveryDeltas > 0 && sh.deltasSinceBase < st.opt.CompactEveryDeltas
+	if writeDelta && dirtyBits.Len() != set.Leaves() {
+		// The window's geometry does not match the handle (a rebuild
+		// should have reported all; defensive): write a base.
+		writeDelta = false
+	}
+
+	if writeDelta {
+		payloadBytes, err := writeDeltaCheckpoint(sh.dir, sh.id, seq, cur, sh.baseSeq, set, dirtyBits.Indices())
+		if err != nil {
+			restore()
+			return err
+		}
+		st.deltaCkpts.Add(1)
+		st.deltaBytes.Add(payloadBytes)
+		sh.deltasSinceBase++
+		sh.ckptSeq.Store(seq)
+		// Rotate so the covered prefix lives in closed segments, but
+		// delete nothing: deltas never advance the retention floor.
+		return st.rotateSegment(sh)
 	}
 
 	payloadBytes, err := writeCheckpoint(sh.dir, sh.id, seq, set)
 	if err != nil {
+		restore()
 		return err
 	}
 	st.ckpts.Add(1)
 	st.ckptBytes.Add(payloadBytes)
-	floor := cur // the now-previous checkpoint: the WAL deletion floor
-	sh.prevCkptSeq = cur
+	floor := sh.baseSeq // the now-previous base: the WAL deletion floor
+	sh.prevBaseSeq = sh.baseSeq
+	sh.baseSeq = seq
+	sh.deltasSinceBase = 0
 	sh.ckptSeq.Store(seq)
-
-	// Rotate the active segment so the prefix up to here lives in closed
-	// segments that future checkpoints can delete whole.
-	sh.mu.Lock()
-	if sh.seg.records > 0 {
-		err = st.syncLocked(sh)
-		if err == nil {
-			err = sh.seg.close()
-		}
-		if err == nil {
-			var nsg *segment
-			nsg, err = createSegment(filepath.Join(sh.dir, segmentName(sh.seq.Load()+1)), sh.id)
-			if err == nil {
-				sh.seg = nsg
-			}
-		}
-	}
-	sh.mu.Unlock()
-	if err != nil {
+	if err := st.rotateSegment(sh); err != nil {
 		return err
 	}
 
-	// Drop checkpoints older than the retained pair, then every closed
-	// segment whose records are all covered by the deletion floor (a
-	// segment's records end one before the next segment's first seq).
+	// Drop checkpoint files — bases and deltas — from chains older than
+	// the retained previous base, then every closed segment whose records
+	// are all covered by the deletion floor (a segment's records end one
+	// before the next segment's first seq).
 	ckptSeqs, err := listSeqFiles(sh.dir, "ckpt-", ".ckpt")
 	if err != nil {
 		return err
 	}
 	for _, s := range ckptSeqs {
-		if s < sh.prevCkptSeq {
+		if s < sh.prevBaseSeq {
 			if err := os.Remove(filepath.Join(sh.dir, checkpointName(s))); err != nil {
+				return err
+			}
+		}
+	}
+	deltaSeqs, err := listSeqFiles(sh.dir, "delta-", ".dckpt")
+	if err != nil {
+		return err
+	}
+	for _, s := range deltaSeqs {
+		if s < sh.prevBaseSeq {
+			if err := os.Remove(filepath.Join(sh.dir, deltaName(s))); err != nil {
 				return err
 			}
 		}
@@ -534,6 +631,29 @@ func (st *Store) checkpointShard(sh *storeShard, minAdvance uint64) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// rotateSegment closes the active WAL segment (if it holds any records)
+// and opens a fresh one, so the prefix a checkpoint just covered lives
+// in closed segments that a future base checkpoint can delete whole.
+func (st *Store) rotateSegment(sh *storeShard) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.seg.records == 0 {
+		return nil
+	}
+	if err := st.syncLocked(sh); err != nil {
+		return err
+	}
+	if err := sh.seg.close(); err != nil {
+		return err
+	}
+	nsg, err := createSegment(filepath.Join(sh.dir, segmentName(sh.seq.Load()+1)), sh.id)
+	if err != nil {
+		return err
+	}
+	sh.seg = nsg
 	return nil
 }
 

@@ -251,6 +251,12 @@ type Options struct {
 	// batch records accumulate past the last checkpoint (0 = default,
 	// negative = checkpoint only on explicit Checkpoint calls).
 	CheckpointEveryBatches int
+	// CompactEveryDeltas bounds a shard's delta-checkpoint chain: after
+	// this many incremental delta checkpoints against one base slab, the
+	// next checkpoint writes a fresh full base and compacts the chain away
+	// (0 = the persist layer's default, negative = compact on every
+	// checkpoint, i.e. disable deltas).
+	CompactEveryDeltas int
 	// Journal is the durability hook the persist layer implements. Requires
 	// Async: the journal is driven by the mailbox writer goroutines.
 	Journal Journal
@@ -271,7 +277,13 @@ type Journal interface {
 	// Append logs one sorted batch bound for shard p before it is applied.
 	Append(p int, remove bool, keys []uint64) error
 	// Published reports that set — an immutable handle — reflects every
-	// batch appended to shard p so far.
+	// batch appended to shard p so far. The handle carries the dirty-leaf
+	// window since the previous published handle (cpma.DirtySince), which
+	// the journal accumulates to write delta checkpoints; the same handle
+	// may be reported repeatedly (flush tokens republish), and only the
+	// first report of a handle carries a new window. Also called once per
+	// shard during construction (before any writer starts) to hand over
+	// the seed handle.
 	Published(p int, set *cpma.CPMA)
 	// Synced forces shard p's log to stable storage.
 	Synced(p int) error
@@ -297,18 +309,22 @@ type Journal interface {
 }
 
 // PersistStats counts a durable set's journal and checkpoint work. The
-// Appended/Fsync counters track the write-ahead log, the Checkpoint
-// counters the slab snapshots (CheckpointBytes uses the CPMA's encoded
-// slab size, which tracks SizeBytes — and therefore SnapshotStats'
-// CloneBytes — up to a fixed header), and the Recovered/Replayed/Torn
-// counters describe the recovery the store performed when it was opened.
+// Appended/Fsync counters track the write-ahead log; the Checkpoint
+// counters count full base slabs and the Delta counters the incremental
+// delta checkpoints written against them (CheckpointBytes+DeltaBytes is
+// the total checkpoint I/O, and its gap to Checkpoints+DeltaCheckpoints
+// times the full slab size is the incremental-checkpoint win); the
+// Recovered/Replayed/Torn counters describe the recovery the store
+// performed when it was opened.
 type PersistStats struct {
 	AppendedBatches   uint64 // WAL records appended (one per applied batch)
 	AppendedKeys      uint64 // keys across those records
 	AppendedBytes     uint64 // encoded WAL bytes appended
 	Fsyncs            uint64 // WAL fsyncs (group commits + barriers)
-	Checkpoints       uint64 // slab checkpoints written
-	CheckpointBytes   uint64 // encoded slab bytes across those checkpoints
+	Checkpoints       uint64 // full (base) slab checkpoints written
+	CheckpointBytes   uint64 // encoded slab bytes across those bases
+	DeltaCheckpoints  uint64 // delta checkpoints written
+	DeltaBytes        uint64 // encoded bytes across those deltas
 	TruncatedSegments uint64 // WAL segment files deleted behind checkpoints
 	MoveRecords       uint64 // rebalance barrier records appended (two per move)
 	MovedKeys         uint64 // keys carried by rebalance barrier records
@@ -328,6 +344,8 @@ func (st PersistStats) Sub(prev PersistStats) PersistStats {
 		Fsyncs:            st.Fsyncs - prev.Fsyncs,
 		Checkpoints:       st.Checkpoints - prev.Checkpoints,
 		CheckpointBytes:   st.CheckpointBytes - prev.CheckpointBytes,
+		DeltaCheckpoints:  st.DeltaCheckpoints - prev.DeltaCheckpoints,
+		DeltaBytes:        st.DeltaBytes - prev.DeltaBytes,
 		TruncatedSegments: st.TruncatedSegments - prev.TruncatedSegments,
 		MoveRecords:       st.MoveRecords - prev.MoveRecords,
 		MovedKeys:         st.MovedKeys - prev.MovedKeys,
@@ -354,9 +372,13 @@ type cell struct {
 
 	// Snapshot publication state (snapshot.go): epoch counts this shard's
 	// state-changing applies (bumped under the shard's write lock), snap is
-	// the last published frozen handle at its epoch.
+	// the last published frozen handle at its epoch, and pubMu makes
+	// publication single-flight — racing sync-mode captures must not run
+	// cpma.Clone concurrently on one cell (the COW ownership handoff is
+	// single-caller by contract).
 	epoch atomic.Uint64
 	snap  atomic.Pointer[shardSnap]
+	pubMu sync.Mutex
 
 	_ [40]byte
 }
@@ -403,6 +425,7 @@ type Sharded struct {
 	snapCaptures   atomic.Uint64
 	snapPublishes  atomic.Uint64
 	snapCloneBytes atomic.Uint64
+	snapFullBytes  atomic.Uint64
 }
 
 // New returns a Sharded set with the given number of shards (clamped to at
@@ -479,9 +502,20 @@ func newSharded(shards int, seed []*cpma.CPMA, opts *Options) *Sharded {
 		} else {
 			s.cells[i].set = cpma.New(o.Set)
 		}
-		// Seed each shard's published handle at epoch 0, so a Snapshot
-		// captured before any publication still holds valid frozen sets.
-		s.cells[i].snap.Store(&shardSnap{set: s.cells[i].set.Clone()})
+		// Seed each shard's published handle through the regular publish
+		// path, so a Snapshot captured before any publication still holds
+		// valid frozen sets stamped with a real (epoch, gen) — the old bare
+		// shardSnap literal had zero stamps, bypassed the stats, and (being
+		// a pre-COW deep clone) doubled resident memory on durable reopens.
+		sn := s.publish(i, &s.cells[i])
+		if o.Journal != nil {
+			// The journal must learn the seed handle too: on a durable
+			// reopen the seed Clone consumes the recovery replay's dirty
+			// window, and skipping this handoff would lose that window for
+			// the first delta checkpoint. No writers are running yet, so
+			// the call is race-free.
+			o.Journal.Published(i, sn.set)
+		}
 	}
 	if o.Async {
 		for i := range s.cells {

@@ -1,0 +1,59 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestPublishSingleFlight: racing sync-mode captures of a freshly
+// mutated shard must coalesce into exactly one clone per (epoch, gen).
+// Before the publish mutex, concurrent Snapshot calls could each build a
+// clone and CAS-race to install one — wasted O(shard) copies under the
+// old deep clone, and under COW a correctness bug: two simultaneous
+// Clones of one live set would race the ownership handoff itself. One
+// publication per epoch is what makes Clone's at-rest contract hold.
+func TestPublishSingleFlight(t *testing.T) {
+	const rounds, goroutines = 40, 8
+	s := New(4, &Options{Partition: HashPartition})
+	defer s.Close()
+	s.InsertBatch(workload.Uniform(workload.NewRNG(7), 20000, 26), false)
+	_ = s.Snapshot() // settle every shard's handle at the current epoch
+	start := s.SnapshotStats().Publishes
+
+	for round := 0; round < rounds; round++ {
+		k := uint64(1)<<40 + uint64(round) + 1
+		if !s.Insert(k) {
+			t.Fatalf("round %d: key not fresh", round)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if !s.Snapshot().Has(k) {
+					t.Errorf("round %d: capture missed the round's key", round)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	st := s.SnapshotStats()
+	// Each round dirtied exactly one shard, so the 8 racing captures may
+	// add exactly one publication between them.
+	if st.Publishes != start+rounds {
+		t.Fatalf("want %d publications (%d start + %d rounds), got %d",
+			start+rounds, start, rounds, st.Publishes)
+	}
+	// And every publication ever made — seeds included — built exactly
+	// one clone of some cell's live set: no clone was built and discarded.
+	var clones uint64
+	for p := range s.cells {
+		clones += s.cells[p].set.Clones()
+	}
+	if clones != st.Publishes {
+		t.Fatalf("%d clones built for %d publications", clones, st.Publishes)
+	}
+}

@@ -2,12 +2,13 @@ package shard
 
 // Consistent multi-shard reads via writer-published epochs.
 //
-// The CPMA's pointer-free contiguous layout makes a whole-structure copy a
-// memcpy-class operation (cpma.Clone), which this file turns into cheap
-// snapshots the way Aspen derives functional graph snapshots and PAM-style
-// structures derive persistence: the structure's sole mutator publishes an
-// immutable handle after it mutates, and readers grab handles instead of
-// locks. Two capture paths share one read implementation (cut):
+// The CPMA's pointer-free layout makes a whole-structure copy a
+// memcpy-class operation, and its leaf-granular copy-on-write Clone makes
+// it cheaper still — O(dirty leaves) per publication — which this file
+// turns into cheap snapshots the way Aspen derives functional graph
+// snapshots and PAM-style structures derive persistence: the structure's
+// sole mutator publishes an immutable handle after it mutates, and readers
+// grab handles instead of locks. Two capture paths share one read implementation (cut):
 //
 //   - Async mode: each shard's mailbox writer is already the shard's only
 //     mutator, so after every drain that changed state it stamps the shard's
@@ -114,28 +115,35 @@ func fullSpan(rt *router) (int, int) { return 0, rt.shards - 1 }
 // for the duration: the async shard writer (the shard's sole mutator)
 // calls it between applies, sync-mode capture calls it while holding the
 // shard's read lock, and the rebalancer calls it with the writer quiesced
-// and the shard's write lock held. Concurrent sync-mode captures may race
-// to publish the same epoch; the CompareAndSwap lets exactly one
-// equivalent clone win (and be counted).
+// and the shard's write lock held.
+//
+// Publication is single-flight per (epoch, gen): concurrent sync-mode
+// captures of the same stale shard serialize on pubMu, exactly one builds
+// the clone, and the rest reuse it. This is load-bearing beyond the stats:
+// cpma.Clone performs a dirty-window handoff and flips COW ownership bits
+// on the parent, so two racing Clones of one cell would corrupt each other
+// — the old CompareAndSwap-and-discard scheme stopped being sound the
+// moment Clone became copy-on-write.
 func (s *Sharded) publish(p int, c *cell) *shardSnap {
 	e := c.epoch.Load()
 	g := s.router().spanGen[p]
-	old := c.snap.Load()
-	if old != nil && old.epoch == e && old.gen == g {
+	if old := c.snap.Load(); old != nil && old.epoch == e && old.gen == g {
+		return old
+	}
+	c.pubMu.Lock()
+	defer c.pubMu.Unlock()
+	// Re-check under the lock: a concurrent capture may have published this
+	// (epoch, gen) while we waited.
+	e = c.epoch.Load()
+	g = s.router().spanGen[p]
+	if old := c.snap.Load(); old != nil && old.epoch == e && old.gen == g {
 		return old
 	}
 	sn := &shardSnap{epoch: e, gen: g, set: c.set.Clone()}
-	if c.snap.CompareAndSwap(old, sn) {
-		s.snapPublishes.Add(1)
-		s.snapCloneBytes.Add(sn.set.SizeBytes())
-		return sn
-	}
-	// A concurrent sync-mode capture won the race; its clone reflects the
-	// same locked state (or a newer epoch), so hand back the winner and
-	// count nothing — Publishes stays <= Epochs.
-	if cur := c.snap.Load(); cur != nil {
-		return cur
-	}
+	c.snap.Store(sn)
+	s.snapPublishes.Add(1)
+	s.snapCloneBytes.Add(sn.set.CloneCost())
+	s.snapFullBytes.Add(sn.set.SizeBytes())
 	return sn
 }
 
@@ -480,24 +488,32 @@ func (v cut) gatherAll() []uint64 {
 
 // SnapshotStats counts the snapshot machinery's work: epoch advances
 // (state-changing applies across shards), publications (frozen handles
-// materialized — each one a cpma.Clone), the bytes those clones copied,
-// and Snapshot captures. Publishes <= Epochs: the gap is the publication
-// amortization (drains coalesce many applies into one clone, unchanged
-// shards republish nothing).
+// materialized — each one a cpma.Clone), the bytes those clones actually
+// copied versus the full-copy baseline, and Snapshot captures.
+// Publishes <= Epochs + Shards (each shard seeds one publication at epoch
+// 0 when the set is built): the gap is the publication amortization
+// (drains coalesce many applies into one clone, unchanged shards
+// republish nothing). CloneBytes/FullCopyBytes is the copy-on-write win:
+// clones
+// materialize only the per-leaf spine plus the leaves dirtied since the
+// previous publication, while FullCopyBytes accumulates what eager deep
+// copies of the same handles would have cost.
 type SnapshotStats struct {
-	Epochs     uint64 // state-changing applies across all shards
-	Publishes  uint64 // frozen handles published (cpma.Clone calls)
-	CloneBytes uint64 // bytes materialized across those clones
-	Captures   uint64 // Snapshot() calls
+	Epochs        uint64 // state-changing applies across all shards
+	Publishes     uint64 // frozen handles published (cpma.Clone calls)
+	CloneBytes    uint64 // bytes materialized across those clones (COW)
+	FullCopyBytes uint64 // SizeBytes of the same handles (full-copy baseline)
+	Captures      uint64 // Snapshot() calls
 }
 
 // Sub returns the counter deltas st - prev (for measuring one phase).
 func (st SnapshotStats) Sub(prev SnapshotStats) SnapshotStats {
 	return SnapshotStats{
-		Epochs:     st.Epochs - prev.Epochs,
-		Publishes:  st.Publishes - prev.Publishes,
-		CloneBytes: st.CloneBytes - prev.CloneBytes,
-		Captures:   st.Captures - prev.Captures,
+		Epochs:        st.Epochs - prev.Epochs,
+		Publishes:     st.Publishes - prev.Publishes,
+		CloneBytes:    st.CloneBytes - prev.CloneBytes,
+		FullCopyBytes: st.FullCopyBytes - prev.FullCopyBytes,
+		Captures:      st.Captures - prev.Captures,
 	}
 }
 
@@ -505,9 +521,10 @@ func (st SnapshotStats) Sub(prev SnapshotStats) SnapshotStats {
 // snapshot before and after a phase and Sub the two to measure it.
 func (s *Sharded) SnapshotStats() SnapshotStats {
 	st := SnapshotStats{
-		Publishes:  s.snapPublishes.Load(),
-		CloneBytes: s.snapCloneBytes.Load(),
-		Captures:   s.snapCaptures.Load(),
+		Publishes:     s.snapPublishes.Load(),
+		CloneBytes:    s.snapCloneBytes.Load(),
+		FullCopyBytes: s.snapFullBytes.Load(),
+		Captures:      s.snapCaptures.Load(),
 	}
 	for p := range s.cells {
 		st.Epochs += s.cells[p].epoch.Load()
