@@ -9,9 +9,9 @@
 //	cpma-bench all
 //
 // Experiments: fig1 fig2 fig7 fig8 fig11 table1 table3 table4 table5
-// table6 growfactor shards rebalance persist clonecost all. The defaults
-// are ~100x below paper scale; raise -n/-k on a machine with the paper's
-// 256 GB.
+// table6 growfactor shards rebalance hotkey persist clonecost all. The
+// defaults are ~100x below paper scale; raise -n/-k on a machine with the
+// paper's 256 GB.
 //
 // The clonecost experiment measures the publish/checkpoint cost of the
 // leaf-granular COW machinery: per steady-state size it streams uniform
@@ -37,7 +37,18 @@
 // range-partitioned set with live span rebalancing off versus on,
 // reporting per-shard load ratio, ingest throughput, and boundary moves —
 // the standalone form exits nonzero if rebalancing leaves the max/mean
-// key-count ratio above 2x. Finally it sweeps
+// key-count ratio above 2x. With -hotfrac > 0 it also embeds the hot-key
+// absorption sweep.
+//
+// The hotkey experiment measures the hot-key absorber (shard
+// Options.HotKeys): it streams single-key-hotspot workloads — power-law
+// s=2.5 unscrambled, plus a -hotfrac/-hotkeys hot-spot mix — through the
+// async pipeline with absorption off and on, differentially verifying
+// each run's final contents against an exact model. Results land in
+// -hotjson (the repo's committed BENCH_hotkey.json). It exits nonzero if
+// any row fails verification or the power-law speedup misses the
+// acceptance bound (>= 5x at >= 1M inserted keys, >= 2x at CI smoke
+// sizes). Finally it sweeps
 // snapshot-scan-while-ingesting (-scanners):
 // concurrent full-set scans through Flush barriers versus lock-free
 // Snapshot captures of the writer-published frozen handles, reporting
@@ -51,6 +62,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -77,29 +89,47 @@ func main() {
 	zipf := flag.Bool("zipf", false, "add the zipfian skew/rebalance sweep to the shards experiment")
 	zipfS := flag.Float64("zipfs", 1.1, "power-law exponent for the skew sweep")
 	cloneJSON := flag.String("clonejson", "BENCH_clone.json", "output file for the clonecost experiment's JSON rows")
+	hotFrac := flag.Float64("hotfrac", 0, "hot-spot traffic fraction for the hot-key sweep (0 disables the -shards embed; the hotkey experiment defaults to 0.9)")
+	hotKeysN := flag.Int("hotkeys", 4, "distinct hot keys in the hot-key sweep's hot-spot workload")
+	hotJSON := flag.String("hotjson", "BENCH_hotkey.json", "output file for the hotkey experiment's JSON rows")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		profiling = true
+		defer pprof.StopCPUProfile()
+	}
 
 	part, err := parsePartition(*partition)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fail(2)
 	}
 	depthList, err := parseInts(*depths)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -depths: %v\n", err)
-		os.Exit(2)
+		fail(2)
 	}
 	scannerList, err := parseInts(*scanners)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bad -scanners: %v\n", err)
-		os.Exit(2)
+		fail(2)
 	}
 
 	cfg := experiments.MicroConfig{BaseN: *n, TotalK: *k, Seed: *seed, Trials: *trials}
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "no experiment given; try: cpma-bench all")
-		os.Exit(2)
+		fail(2)
 	}
 	run := map[string]bool{}
 	for _, a := range args {
@@ -241,6 +271,11 @@ func main() {
 		if *zipf {
 			runRebalanceSweep(out, cfg, *shards, *clients, *asyncBatch, *zipfS)
 		}
+		if *hotFrac > 0 {
+			// Embedded form: print the sweep, no gate (the standalone
+			// hotkey experiment enforces the acceptance bound).
+			runHotKeySweep(out, cfg, *shards, *clients, *asyncBatch, *hotKeysN, []float64{*hotFrac}, "")
+		}
 
 		srows := experiments.ShardSnapshotScan(cfg, *shards, *clients, scannerList, *asyncBatch, part)
 		fmt.Fprintf(out, "Snapshot scans while ingesting (%s partition): %d shards, %d clients, flush-barrier vs lock-free snapshot scans\n",
@@ -260,7 +295,26 @@ func main() {
 		// Standalone skew sweep (the shards experiment embeds it via -zipf).
 		if !runRebalanceSweep(out, cfg, *shards, *clients, *asyncBatch, *zipfS) {
 			fmt.Fprintln(os.Stderr, "rebalance sweep: skew ratio above the 2x acceptance bound with rebalancing on")
-			os.Exit(1)
+			fail(1)
+		}
+	}
+	if all || run["hotkey"] {
+		fracs := []float64{0.9}
+		if *hotFrac > 0 {
+			fracs = []float64{*hotFrac}
+		}
+		speedup, verified := runHotKeySweep(out, cfg, *shards, *clients, *asyncBatch, *hotKeysN, fracs, *hotJSON)
+		thr := 2.0
+		if cfg.TotalK >= 1_000_000 {
+			thr = 5.0
+		}
+		if !verified {
+			fmt.Fprintln(os.Stderr, "hotkey sweep: differential verification FAILED")
+			fail(1)
+		}
+		if speedup < thr {
+			fmt.Fprintf(os.Stderr, "hotkey sweep: power-law absorber speedup %.1fx below the %.0fx acceptance bound\n", speedup, thr)
+			fail(1)
 		}
 	}
 	if all || run["persist"] {
@@ -269,7 +323,7 @@ func main() {
 			tmp, err := os.MkdirTemp("", "cpma-persist-*")
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fail(1)
 			}
 			defer os.RemoveAll(tmp)
 			dir = tmp
@@ -278,7 +332,7 @@ func main() {
 		r, err := experiments.PersistSmoke(cfg, *shards, *clients, *n/100+1, part, dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "persist experiment: %v\n", err)
-			os.Exit(1)
+			fail(1)
 		}
 		t := stats.NewTable("phase", "keys", "ok", "detail")
 		t.Row("ingest", stats.Sci(float64(r.Keys)), "-",
@@ -291,14 +345,14 @@ func main() {
 		t.Write(out)
 		if !r.CleanOK || !r.TornOK {
 			fmt.Fprintln(os.Stderr, "persist experiment: recovery verification FAILED")
-			os.Exit(1)
+			fail(1)
 		}
 		fmt.Fprintln(out)
 	}
 	if all || run["clonecost"] {
 		if err := runCloneCost(out, cfg, *n, *cloneJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "clonecost experiment: %v\n", err)
-			os.Exit(1)
+			fail(1)
 		}
 	}
 	if all || run["growfactor"] {
@@ -410,6 +464,75 @@ func runRebalanceSweep(out *os.File, cfg experiments.MicroConfig, shards, client
 	t.Write(out)
 	fmt.Fprintln(out)
 	return ok
+}
+
+// runHotKeySweep prints the hot-key absorption sweep (absorber off vs on
+// over identical skewed streams), optionally writes the JSON rows to
+// jsonPath (skipped when empty — the -shards embedded form), and returns
+// the power-law row pair's on/off throughput ratio plus whether every row
+// passed its exact differential verification.
+func runHotKeySweep(out *os.File, cfg experiments.MicroConfig, shards, clients, batchSize, hotKeys int, hotFracs []float64, jsonPath string) (speedup float64, verified bool) {
+	const s = 2.5
+	rows := experiments.ShardHotKeySweep(cfg, shards, clients, batchSize, hotKeys, s, hotFracs)
+	fmt.Fprintf(out, "Hot-key absorption sweep (hash partition, %d shards, %d clients): power-law s=%.1f unscrambled + hot-spot mixes, absorber off vs on\n",
+		shards, clients, s)
+	t := stats.NewTable("workload", "hot frac", "absorb", "ingest TP", "TP gain", "absorbed", "promos", "demos", "final n", "verified")
+	verified = true
+	var offTP float64
+	for _, r := range rows {
+		name, gain := "off", "-"
+		if r.Absorb {
+			name = "on"
+			gain = stats.Ratio(r.IngestTP, offTP)
+			if r.Workload == "powerlaw-2.5" && offTP > 0 {
+				speedup = r.IngestTP / offTP
+			}
+		} else {
+			offTP = r.IngestTP
+		}
+		if !r.Verified {
+			verified = false
+		}
+		t.Row(r.Workload, fmt.Sprintf("%.2f", r.HotFrac), name,
+			stats.Sci(r.IngestTP), gain,
+			fmt.Sprintf("%.0f%%", 100*r.AbsorbedFrac),
+			r.Promotions, r.Demotions,
+			stats.Sci(float64(r.FinalKeys)), fmt.Sprintf("%v", r.Verified))
+	}
+	t.Write(out)
+	fmt.Fprintln(out)
+
+	if jsonPath != "" {
+		blob, err := json.MarshalIndent(struct {
+			Shards    int                     `json:"shards"`
+			Clients   int                     `json:"clients"`
+			TotalKeys int                     `json:"total_keys"`
+			PowerLawS float64                 `json:"powerlaw_s"`
+			Rows      []experiments.HotKeyRow `json:"rows"`
+		}{shards, clients, cfg.TotalK, s, rows}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hotkey sweep: %v\n", err)
+			return speedup, false
+		}
+		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "hotkey sweep: %v\n", err)
+			return speedup, false
+		}
+		fmt.Fprintf(out, "hotkey: wrote %s\n\n", jsonPath)
+	}
+	return speedup, verified
+}
+
+// profiling notes whether a -cpuprofile run is active so fail can flush
+// the profile before exiting nonzero (deferred stops don't run past
+// os.Exit).
+var profiling bool
+
+func fail(code int) {
+	if profiling {
+		pprof.StopCPUProfile()
+	}
+	os.Exit(code)
 }
 
 func parsePartition(s string) (shard.Partition, error) {

@@ -157,6 +157,14 @@ func systems() map[string]func() sut {
 			return shard.New(3, &shard.Options{Partition: shard.RangePartition, KeyBits: 18, Set: smallLeaf,
 				Async: true, MailboxDepth: 2, FlushReads: true})
 		},
+		// Hot-key absorption with an aggressive detector: the walk's
+		// repeated small keys promote quickly, so ticketed counts and reads
+		// run through the separation/overlay path and must stay exact.
+		"shard-async-hotkey": func() sut {
+			return shard.New(4, &shard.Options{Partition: shard.HashPartition, Set: smallLeaf,
+				Async: true, MailboxDepth: 4,
+				HotKeys: true, HotKeyEvery: 64, HotKeyFrac: 0.05, HotKeyMax: 8})
+		},
 	}
 }
 
@@ -311,6 +319,12 @@ func TestDifferentialAsync(t *testing.T) {
 			Async: true, MailboxDepth: 4}, true},
 		{"flushreads", &shard.Options{Partition: shard.RangePartition, KeyBits: 18, Set: smallLeaf,
 			Async: true, MailboxDepth: 2, FlushReads: true}, false},
+		{"hotkey-flush", &shard.Options{Partition: shard.HashPartition, Set: smallLeaf,
+			Async: true, MailboxDepth: 4,
+			HotKeys: true, HotKeyEvery: 64, HotKeyFrac: 0.05, HotKeyMax: 8}, true},
+		{"hotkey-flushreads", &shard.Options{Partition: shard.RangePartition, KeyBits: 18, Set: smallLeaf,
+			Async: true, MailboxDepth: 2, FlushReads: true,
+			HotKeys: true, HotKeyEvery: 64, HotKeyFrac: 0.05, HotKeyMax: 8}, false},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			s := shard.New(3, tc.opt)

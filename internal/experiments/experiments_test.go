@@ -262,3 +262,36 @@ func TestShardRebalanceSweep(t *testing.T) {
 		t.Fatalf("rebalancing left ratio %.2f", on.MaxMeanRatio)
 	}
 }
+
+func TestShardHotKeySweep(t *testing.T) {
+	cfg := MicroConfig{TotalK: 60_000, Seed: 3, Trials: 1}
+	rows := ShardHotKeySweep(cfg, 4, 4, 500, 4, 2.5, []float64{0.9})
+	if len(rows) != 4 {
+		t.Fatalf("want 2 workloads x off/on = 4 rows, got %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.IngestTP <= 0 {
+			t.Fatalf("row %d: bad throughput %+v", i, r)
+		}
+		if !r.Verified {
+			t.Fatalf("row %d failed differential verification: %+v", i, r)
+		}
+		if r.Absorb != (i%2 == 1) {
+			t.Fatalf("row %d: want alternating off/on, got %+v", i, r)
+		}
+	}
+	for i := 0; i < len(rows); i += 2 {
+		off, on := rows[i], rows[i+1]
+		if off.FinalKeys != on.FinalKeys {
+			t.Fatalf("identical workloads diverged: %d vs %d keys", off.FinalKeys, on.FinalKeys)
+		}
+		if off.AbsorbedFrac != 0 || off.Promotions != 0 {
+			t.Fatalf("absorber-off row absorbed traffic: %+v", off)
+		}
+		// Both workloads concentrate most occurrences on a handful of
+		// keys; the absorber must soak up the bulk of the stream.
+		if on.Promotions == 0 || on.AbsorbedFrac < 0.5 {
+			t.Fatalf("absorber barely engaged on %s: %+v", on.Workload, on)
+		}
+	}
+}

@@ -101,3 +101,129 @@ func TestDurableIngestRace(t *testing.T) {
 		t.Fatalf("recovery diverged: %d keys before, %d after", len(want), s2.Len())
 	}
 }
+
+// TestHotKeyDurableRace points the durability hammer at the hot-key
+// absorber: writers blast shared hot keys (which promote, absorb, and
+// journal only at reconcile time) alongside disjoint private streams,
+// racing explicit Checkpoints, snapshots, and flushes. Flush forces
+// reconcile-then-fsync, so the state captured before Close — absorbed
+// traffic included — must survive recovery exactly.
+func TestHotKeyDurableRace(t *testing.T) {
+	const (
+		shards  = 4
+		writers = 4
+		batches = 30
+		size    = 300
+	)
+	dir := t.TempDir()
+	opt := shard.Options{
+		SyncEvery:              8,
+		CheckpointEveryBatches: 16,
+		MailboxDepth:           4,
+		HotKeys:                true,
+		HotKeyEvery:            64,
+		HotKeyFrac:             0.05,
+		HotKeyMax:              8,
+	}
+	s, _ := openSet(t, dir, shards, opt)
+
+	// Hot keys are shared and insert-only; private ranges are disjoint per
+	// writer (bit 39 set, so they never collide with the hot keys). The
+	// final state is exact regardless of interleaving.
+	hot := []uint64{11, 12, 13, 21, 22, 23}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := workload.NewRNG(uint64(w) + 1)
+			lo := uint64(w) << 40
+			for i := 0; i < batches; i++ {
+				keys := workload.Uniform(r, size, 39)
+				for j := range keys {
+					keys[j] |= lo + 1<<39
+				}
+				// Rotate the blasted hot set so cooled keys demote with
+				// pending absorbed state that Checkpoint must not lose.
+				hk := hot[:3]
+				if i > batches/2 {
+					hk = hot[3:]
+				}
+				for j := 0; j < 200; j++ {
+					keys = append(keys, hk[r.Intn(len(hk))])
+				}
+				if i%4 == 3 {
+					s.InsertBatch(keys, false)
+				} else {
+					s.InsertBatchAsync(keys, false)
+				}
+				if i%5 == 4 {
+					s.RemoveBatchAsync(keys[:size/4], false)
+				}
+			}
+		}(w)
+	}
+	var aux sync.WaitGroup
+	stop := make(chan struct{})
+	aux.Add(2)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := s.Checkpoint(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sn := s.Snapshot()
+				_ = sn.Len()
+				_ = s.IngestStats()
+				s.Flush()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+	s.Flush()
+	for _, k := range hot {
+		if !s.Has(k) {
+			t.Fatalf("hot key %d missing before close", k)
+		}
+	}
+	st := s.IngestStats()
+	if st.AbsorbedKeys == 0 || st.HotKeys == 0 {
+		t.Fatalf("absorber never engaged under durability: %+v", st)
+	}
+	if st.AppliedKeys+st.AbsorbedKeys != st.EnqueuedKeys {
+		t.Fatalf("key conservation broken: %+v", st)
+	}
+	want := s.Keys()
+	s.Close()
+
+	s2, _ := openSet(t, dir, shards, opt)
+	defer s2.Close()
+	if err := s2.Validate(); err != nil {
+		t.Fatalf("recovered set invalid: %v", err)
+	}
+	if !slices.Equal(want, s2.Keys()) {
+		t.Fatalf("recovery diverged: %d keys before, %d after", len(want), s2.Len())
+	}
+	for _, k := range hot {
+		if !s2.Has(k) {
+			t.Fatalf("hot key %d lost across recovery", k)
+		}
+	}
+}

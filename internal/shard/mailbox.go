@@ -40,9 +40,17 @@ const (
 // coalescable fast path. A quiesce token parks the writer — it completes
 // the ticket and then blocks until resume is closed, leaving the
 // rebalancer as the shard's sole mutator for the interim.
+//
+// With the hot-key absorber on (Options.HotKeys), hot carries the
+// promoted-key occurrences the enqueuer stripped from keys — run-collapsed
+// {key, count} records the writer absorbs into slot state at this op's
+// FIFO position instead of pushing through the merge and the CPMA
+// (hotkey.go). Entries are always freshly built, never aliasing caller
+// memory.
 type shardOp struct {
 	kind   opKind
 	keys   []uint64
+	hot    []hotEntry
 	tk     *ticket
 	resume chan struct{}
 }
@@ -76,15 +84,30 @@ func (t *ticket) wait() int {
 
 // IngestStats counts the batch traffic through a Sharded set: sub-batches
 // as enqueued by clients versus merged applies executed by the shard
-// writers. AppliedKeys always converges to EnqueuedKeys once the pipeline
-// is flushed; AppliedBatches <= EnqueuedBatches, and the gap is the
-// coalescing win (mean applied-batch size / mean enqueued sub-batch size).
-// In synchronous mode both sides count the per-shard applies directly.
+// writers. AppliedKeys + AbsorbedKeys always converges to EnqueuedKeys
+// once the pipeline is flushed; AppliedBatches <= EnqueuedBatches, and the
+// gap is the coalescing win (mean applied-batch size / mean enqueued
+// sub-batch size). In synchronous mode both sides count the per-shard
+// applies directly.
+//
+// The last four counters track the hot-key absorber (Options.HotKeys; all
+// zero when it is off): AbsorbedKeys counts key occurrences diverted from
+// the apply path into per-shard slot state, ReconcileBatches the batches
+// that folded absorbed state back into the CPMAs at publish points
+// (deliberately excluded from AppliedBatches/AppliedKeys, which keep
+// counting client traffic only), and HotKeys/Demotions the cumulative
+// promotions and demotions (HotKeys - Demotions is the number of keys on
+// the absorbed path right now).
 type IngestStats struct {
 	EnqueuedBatches uint64 // sub-batches handed to shards
 	EnqueuedKeys    uint64 // keys across those sub-batches
 	AppliedBatches  uint64 // merged InsertBatch/RemoveBatch calls at shards
 	AppliedKeys     uint64 // keys across those applies (pre-dedup)
+
+	AbsorbedKeys     uint64 // hot-key occurrences absorbed instead of applied
+	ReconcileBatches uint64 // reconcile batches folding absorbed state into CPMAs
+	HotKeys          uint64 // cumulative key promotions to the absorbed path
+	Demotions        uint64 // cumulative demotions back to the normal path
 }
 
 // MeanEnqueuedBatch returns the mean keys per enqueued sub-batch.
@@ -110,6 +133,11 @@ func (st IngestStats) Sub(prev IngestStats) IngestStats {
 		EnqueuedKeys:    st.EnqueuedKeys - prev.EnqueuedKeys,
 		AppliedBatches:  st.AppliedBatches - prev.AppliedBatches,
 		AppliedKeys:     st.AppliedKeys - prev.AppliedKeys,
+
+		AbsorbedKeys:     st.AbsorbedKeys - prev.AbsorbedKeys,
+		ReconcileBatches: st.ReconcileBatches - prev.ReconcileBatches,
+		HotKeys:          st.HotKeys - prev.HotKeys,
+		Demotions:        st.Demotions - prev.Demotions,
 	}
 }
 
@@ -124,17 +152,23 @@ func (s *Sharded) IngestStats() IngestStats {
 		st.EnqueuedKeys += c.enqKeys.Load()
 		st.AppliedBatches += c.appBatches.Load()
 		st.AppliedKeys += c.appKeys.Load()
+		st.AbsorbedKeys += c.absorbed.Load()
+		st.ReconcileBatches += c.reconciles.Load()
+		st.HotKeys += c.promos.Load()
+		st.Demotions += c.demos.Load()
 	}
 	return st
 }
 
-// writerScratch holds one writer's reusable buffers: the drained-op list
-// and two ping-pong merge arenas, so steady-state coalescing allocates
-// nothing beyond what the CPMA itself needs.
+// writerScratch holds one writer's reusable buffers: the drained-op list,
+// two ping-pong merge arenas, and the run-level hot-entry accumulator, so
+// steady-state coalescing allocates nothing beyond what the CPMA itself
+// needs.
 type writerScratch struct {
 	pending []shardOp
 	runs    [][]uint64
 	bufs    [2][]uint64
+	ents    []hotEntry
 }
 
 // maxRetainedArena caps the merge-arena capacity (in keys) a writer keeps
@@ -148,6 +182,7 @@ const maxRetainedArena = 1 << 16
 func (ws *writerScratch) release() {
 	clear(ws.pending[:cap(ws.pending)]) // full capacity: drop prior drains' stale headers too
 	clear(ws.runs[:cap(ws.runs)])
+	clear(ws.ents[:cap(ws.ents)])
 	for i := range ws.bufs {
 		if cap(ws.bufs[i]) > maxRetainedArena {
 			ws.bufs[i] = nil
@@ -186,6 +221,16 @@ func (s *Sharded) writer(p int) {
 			}
 		}
 		s.applyPending(p, c, &ws)
+		// Reconcile-before-publish: fold absorbed hot-key state into the
+		// CPMA so the handle published next is an exact FIFO prefix of the
+		// shard's history (absorption stays invisible to snapshots and
+		// durability), then let the detector retune the promoted set at
+		// this rest point — slots are clean, so promotion and demotion are
+		// plain table swaps.
+		if s.opt.HotKeys {
+			s.reconcileHot(p, c)
+			s.retuneHot(p, c)
+		}
 		// Copy-on-publish: one frozen handle per state-changing drain, so
 		// snapshot captures never wait on (or block) the apply path. The
 		// final drain before exit publishes too, so a Snapshot taken after
@@ -217,10 +262,16 @@ func (s *Sharded) applyPending(p int, c *cell, ws *writerScratch) {
 		case op.kind == opFlush:
 			// Publish before completing the token: once a Flush returns,
 			// the published handles must include everything it covered
-			// (the snapshot read-your-flushes guarantee). On a durable set
-			// the token is also the durability barrier — hand the journal
-			// the fresh handle and force its log to disk before anyone
-			// waiting on the Flush is released.
+			// (the snapshot read-your-flushes guarantee). Reconcile first:
+			// Flush promises applied-and-logged, so absorbed state covered
+			// by the token must fold into the CPMA (and the WAL) before
+			// the publish. On a durable set the token is also the
+			// durability barrier — hand the journal the fresh handle and
+			// force its log to disk before anyone waiting on the Flush is
+			// released.
+			if s.opt.HotKeys {
+				s.reconcileHot(p, c)
+			}
 			sn := s.publish(p, c)
 			if j := s.opt.Journal; j != nil {
 				j.Published(p, sn.set)
@@ -233,11 +284,16 @@ func (s *Sharded) applyPending(p int, c *cell, ws *writerScratch) {
 		case op.kind == opQuiesce:
 			// Park for the rebalancer: publish the rest-point state (the
 			// pre-move handle other shards' captures may still pair with),
-			// signal arrival, and block. Everything drained before this
-			// token has been applied; nothing can follow it in the mailbox
-			// because the rebalancer holds the enqueue-side lifecycle lock
-			// while it is outstanding. Until resume closes, the rebalancer
-			// is this shard's sole mutator.
+			// signal arrival, and block. Reconcile first so the rebalancer
+			// extracts a CPMA with no absorbed state hiding beside it.
+			// Everything drained before this token has been applied;
+			// nothing can follow it in the mailbox because the rebalancer
+			// holds the enqueue-side lifecycle lock while it is
+			// outstanding. Until resume closes, the rebalancer is this
+			// shard's sole mutator.
+			if s.opt.HotKeys {
+				s.reconcileHot(p, c)
+			}
 			sn := s.publish(p, c)
 			if j := s.opt.Journal; j != nil {
 				j.Published(p, sn.set)
@@ -246,22 +302,34 @@ func (s *Sharded) applyPending(p int, c *cell, ws *writerScratch) {
 			<-op.resume
 			i++
 		case op.tk != nil:
-			op.tk.complete(s.applyOne(p, c, op.kind, op.keys))
+			op.tk.complete(s.applyOne(p, c, op.kind, op.keys, op.hot))
 			i++
 		default:
 			j := i + 1
 			for j < len(pending) && pending[j].kind == op.kind && pending[j].tk == nil {
 				j++
 			}
-			keys := op.keys
+			keys, hot := op.keys, op.hot
 			if j > i+1 {
 				ws.runs = ws.runs[:0]
+				// Hot entries from the run's ops concatenate in op order;
+				// within one run every op has the same kind, so a last-wins
+				// fold over them lands on the same slot state regardless of
+				// how the cold keys merged.
+				ws.ents = ws.ents[:0]
 				for k := i; k < j; k++ {
-					ws.runs = append(ws.runs, pending[k].keys)
+					if ks := pending[k].keys; len(ks) > 0 {
+						ws.runs = append(ws.runs, ks)
+					}
+					ws.ents = append(ws.ents, pending[k].hot...)
 				}
-				keys = mergeRuns(ws.runs, &ws.bufs)
+				keys = nil
+				if len(ws.runs) > 0 {
+					keys = mergeRuns(ws.runs, &ws.bufs)
+				}
+				hot = ws.ents
 			}
-			s.applyOne(p, c, op.kind, keys)
+			s.applyOne(p, c, op.kind, keys, hot)
 			i = j
 		}
 	}
@@ -274,28 +342,94 @@ func (s *Sharded) applyPending(p int, c *cell, ws *writerScratch) {
 // the batch is appended to the shard's write-ahead log first, outside the
 // shard lock: the log must never trail the in-memory state it redoes, and
 // a log the set cannot append to is fatal (see Journal).
-func (s *Sharded) applyOne(p int, c *cell, kind opKind, keys []uint64) int {
-	if len(keys) == 0 {
-		return 0
-	}
-	if j := s.opt.Journal; j != nil {
-		if err := j.Append(p, kind == opRemove, keys); err != nil {
-			panic(fmt.Sprintf("shard %d: journal append: %v", p, err))
+//
+// With the absorber on, hot carries the op's pre-separated promoted-key
+// entries, and the batch is re-checked against the current table first
+// (the backstop for sub-batches split against a stale table during a
+// promotion — a promoted key's CPMA state must never change outside
+// reconciliation). Entries whose key was demoted while the op was in
+// flight fall back into the applied batch at this same FIFO position, so
+// the write-ahead contract covers them; surviving entries fold into slot
+// state inside the same critical section as the cold apply — absorbed keys
+// are deliberately NOT journaled here, their WAL records are written by
+// reconcileHot when the slot state folds into the CPMA. The returned count
+// stays exact for ticketed ops: a slot whose effective membership flips
+// counts exactly like a fresh insert or a present remove.
+func (s *Sharded) applyOne(p int, c *cell, kind opKind, keys []uint64, hot []hotEntry) int {
+	var ht *hotTable
+	if s.opt.HotKeys {
+		ht = c.hot.Load()
+		if ht != nil && len(keys) > 0 {
+			if cold, ents := stripHotSorted(keys, ht); ents != nil {
+				keys = cold
+				hot = append(hot, ents...)
+			}
+		}
+		if len(hot) > 0 {
+			abs, fallback, surplus := splitEntries(ht, hot)
+			if len(fallback) > 0 {
+				keys = mergeSortedInto(keys, fallback)
+			}
+			if surplus > 0 {
+				// Demotion-fallback duplicates collapsed by separation: they
+				// count as absorbed traffic (they never reach the CPMA) even
+				// though their key travels the normal path again.
+				c.absorbed.Add(surplus)
+				c.det.window += surplus
+			}
+			hot = abs
 		}
 	}
-	c.appBatches.Add(1)
-	c.appKeys.Add(uint64(len(keys)))
-	c.mu.Lock()
-	var n int
-	if kind == opInsert {
-		n = c.set.InsertBatch(keys, true)
-	} else {
-		n = c.set.RemoveBatch(keys, true)
+	if len(keys) == 0 && len(hot) == 0 {
+		return 0
 	}
-	if n > 0 {
-		c.epoch.Add(1)
+	if len(keys) > 0 {
+		if j := s.opt.Journal; j != nil {
+			if err := j.Append(p, kind == opRemove, keys); err != nil {
+				panic(fmt.Sprintf("shard %d: journal append: %v", p, err))
+			}
+		}
+		c.appBatches.Add(1)
+		c.appKeys.Add(uint64(len(keys)))
+	}
+	var n int
+	var absorbed uint64
+	c.mu.Lock()
+	if len(keys) > 0 {
+		if kind == opInsert {
+			n = c.set.InsertBatch(keys, true)
+		} else {
+			n = c.set.RemoveBatch(keys, true)
+		}
+		if n > 0 {
+			c.epoch.Add(1)
+		}
+	}
+	for _, e := range hot {
+		sl := ht.lookup(e.key) // non-nil: splitEntries kept only table keys
+		was := sl.eff()
+		if kind == opInsert {
+			sl.pend = pendInsert
+		} else {
+			sl.pend = pendRemove
+		}
+		if sl.eff() != was {
+			n++
+		}
+		sl.hits += e.n
+		absorbed += e.n
 	}
 	c.mu.Unlock()
+	if s.opt.HotKeys {
+		if absorbed > 0 {
+			c.absorbed.Add(absorbed)
+		}
+		// Absorbed traffic advances the detector's window (it is real
+		// traffic for share computation) but not the sketch — its keys are
+		// already promoted.
+		c.det.observe(keys)
+		c.det.window += absorbed
+	}
 	return n
 }
 

@@ -132,6 +132,44 @@
 // per-shard span generation, so a capture can never pair a handle from
 // before a boundary move with a routing table from after it (or vice
 // versa). Rebalancing requires the async pipeline and RangePartition.
+//
+// # Hot-key absorption (Options.HotKeys)
+//
+// Rebalancing caps span skew but cannot subdivide one key: when a single
+// key dominates traffic, its owning shard's writer is the whole pipeline's
+// ceiling. CPMA insert/remove of one key is idempotent-commutative, so the
+// absorber (hotkey.go) detects such keys from the ingest traffic itself,
+// strips them from enqueued sub-batches into compact absorbed records, and
+// folds each record into per-shard slot state (a last-wins insert/remove
+// bit over the key's CPMA presence) at the record's FIFO position — the
+// Doppel split-phase protocol applied to the mailbox pipeline. The
+// absorbed state reconciles into the CPMA immediately before every
+// snapshot publication (drain end, Flush token, rebalance quiesce) as
+// ordinary write-ahead-logged batches.
+//
+// The consistency contract is unchanged by absorption:
+//
+//   - Live reads (Has, Len, Sum, RangeSum, Next, Max, Map, MapRange, Keys)
+//     overlay the absorbed state under the same shard read locks their cut
+//     already holds, so they remain exact — an applied-but-unreconciled
+//     hot-key op is visible exactly as if it had been applied to the CPMA.
+//   - Published snapshot handles are reconciled first, so every Snapshot
+//     remains an exact per-shard FIFO prefix of the operation history and
+//     never needs the overlay.
+//   - Flush forces reconciliation before its token completes: after a
+//     Flush, absorbed state is folded, logged, and (on a durable set)
+//     fsynced — durability always covers exactly the reconciled state.
+//   - Ticketed mutations stay exact: an absorbed Insert/Remove reports
+//     fresh/present from the slot's effective-membership flip.
+//
+// Detection and demotion are per shard: a space-saving sketch over applied
+// traffic promotes keys whose share of a HotKeyEvery-key window exceeds
+// HotKeyFrac (at most HotKeyMax per shard), and cooled keys demote back to
+// the normal path at the next evaluation. A rebalance boundary move
+// demotes both affected shards' keys (ownership moved); in-flight
+// operations split against a stale promoted-key table are re-checked by
+// the writer, so promotion and demotion never reorder or lose operations.
+// IngestStats reports AbsorbedKeys/ReconcileBatches/HotKeys/Demotions.
 package shard
 
 import (
@@ -212,6 +250,26 @@ type Options struct {
 	// reading, so reads observe all previously enqueued operations. The
 	// default is read-through: reads see only applied state.
 	FlushReads bool
+
+	// HotKeys enables the per-shard hot-key absorber (see the package
+	// documentation and hotkey.go): detected-hot keys are stripped from
+	// enqueued sub-batches and absorbed into per-shard slot state, then
+	// reconciled into the CPMA before every snapshot publication. Requires
+	// Async; New panics otherwise. Works with either partition policy and
+	// composes with Rebalance (a boundary move demotes the pair's keys)
+	// and a Journal (absorbed keys are WAL-logged at reconcile time).
+	HotKeys bool
+	// HotKeyFrac is the promotion threshold: a key is promoted when its
+	// share of one detector window exceeds this fraction, and demoted when
+	// its absorbed traffic cools below a quarter of it. 0 means
+	// DefaultHotKeyFrac.
+	HotKeyFrac float64
+	// HotKeyMax caps the promoted keys per shard. 0 means DefaultHotKeyMax.
+	HotKeyMax int
+	// HotKeyEvery is the detector window: promotion/demotion is evaluated
+	// once this many keys have passed through a shard since the last
+	// evaluation. 0 means DefaultHotKeyEvery.
+	HotKeyEvery int
 
 	// Rebalance starts the live span rebalancer (see the package
 	// documentation): a background monitor samples per-shard key counts and
@@ -380,6 +438,17 @@ type cell struct {
 	snap  atomic.Pointer[shardSnap]
 	pubMu sync.Mutex
 
+	// Hot-key absorber state (hotkey.go): hot is the promoted-key table
+	// (nil when nothing is promoted; the table is immutable, its slots
+	// mutate under mu), det is the traffic detector owned by the writer
+	// goroutine, and the counters feed IngestStats.
+	hot        atomic.Pointer[hotTable]
+	det        hotDetector
+	absorbed   atomic.Uint64
+	reconciles atomic.Uint64
+	promos     atomic.Uint64
+	demos      atomic.Uint64
+
 	_ [40]byte
 }
 
@@ -426,6 +495,15 @@ type Sharded struct {
 	snapPublishes  atomic.Uint64
 	snapCloneBytes atomic.Uint64
 	snapFullBytes  atomic.Uint64
+
+	// hotIdx is the global promoted-key index: the sorted union of every
+	// shard's hot-table keys, rebuilt whenever a retune or boundary move
+	// changes promotions. enqueue's pre-pass consults it to excise hot
+	// occurrences before the sort+scatter (the dominant enqueue cost on
+	// skewed streams). Mild staleness either way is benign: a missing key
+	// travels cold and applyOne's backstop strip absorbs it; an extra key
+	// arrives as an entry and splitEntries falls it back to the cold path.
+	hotIdx atomic.Pointer[hotIndex]
 }
 
 // New returns a Sharded set with the given number of shards (clamped to at
@@ -471,6 +549,20 @@ func newSharded(shards int, seed []*cpma.CPMA, opts *Options) *Sharded {
 	if o.Rebalance && (!o.Async || o.Partition != RangePartition) {
 		panic("shard: Options.Rebalance requires the async pipeline and RangePartition")
 	}
+	if o.HotKeys {
+		if !o.Async {
+			panic("shard: Options.HotKeys requires the async pipeline (Options.Async)")
+		}
+		if o.HotKeyFrac <= 0 {
+			o.HotKeyFrac = DefaultHotKeyFrac
+		}
+		if o.HotKeyMax <= 0 {
+			o.HotKeyMax = DefaultHotKeyMax
+		}
+		if o.HotKeyEvery <= 0 {
+			o.HotKeyEvery = DefaultHotKeyEvery
+		}
+	}
 	if o.MaxSkew <= 0 {
 		o.MaxSkew = DefaultMaxSkew
 	} else if o.MaxSkew < 1.1 {
@@ -515,6 +607,14 @@ func newSharded(shards int, seed []*cpma.CPMA, opts *Options) *Sharded {
 			// the first delta checkpoint. No writers are running yet, so
 			// the call is race-free.
 			o.Journal.Published(i, sn.set)
+		}
+	}
+	if o.HotKeys {
+		// The sketch tracks a few times more candidates than can be
+		// promoted, so near-threshold keys are not evicted by churn right
+		// before an evaluation.
+		for i := range s.cells {
+			s.cells[i].det.sk.cap = 4 * o.HotKeyMax
 		}
 	}
 	if o.Async {
@@ -618,7 +718,12 @@ func (s *Sharded) Has(x uint64) bool {
 		c := &s.cells[p]
 		c.mu.RLock()
 		if s.router() == rt {
-			ok := c.set.Has(x)
+			var ok bool
+			if s.opt.HotKeys {
+				ok = overlayHas(c.set, c.hot.Load(), x)
+			} else {
+				ok = c.set.Has(x)
+			}
 			c.mu.RUnlock()
 			return ok
 		}
@@ -633,10 +738,10 @@ func (s *Sharded) Has(x uint64) bool {
 // async set the sub-batches go through the mailboxes with a completion
 // ticket, so the call still blocks until applied and the count is exact.
 func (s *Sharded) InsertBatch(keys []uint64, sorted bool) int {
-	checkKeys(keys, sorted)
 	if s.opt.Async {
 		return s.enqueue(opInsert, keys, sorted, true)
 	}
+	checkKeys(keys, sorted)
 	return s.batch(keys, sorted, func(set *cpma.CPMA, sub []uint64) int {
 		return set.InsertBatch(sub, sorted)
 	})
@@ -644,10 +749,10 @@ func (s *Sharded) InsertBatch(keys []uint64, sorted bool) int {
 
 // RemoveBatch removes a batch of keys, returning how many were present.
 func (s *Sharded) RemoveBatch(keys []uint64, sorted bool) int {
-	checkKeys(keys, sorted)
 	if s.opt.Async {
 		return s.enqueue(opRemove, keys, sorted, true)
 	}
+	checkKeys(keys, sorted)
 	return s.batch(keys, sorted, func(set *cpma.CPMA, sub []uint64) int {
 		return set.RemoveBatch(sub, sorted)
 	})
@@ -662,7 +767,6 @@ func (s *Sharded) InsertBatchAsync(keys []uint64, sorted bool) {
 		s.InsertBatch(keys, sorted)
 		return
 	}
-	checkKeys(keys, sorted)
 	s.enqueue(opInsert, keys, sorted, false)
 }
 
@@ -673,7 +777,6 @@ func (s *Sharded) RemoveBatchAsync(keys []uint64, sorted bool) {
 		s.RemoveBatch(keys, sorted)
 		return
 	}
-	checkKeys(keys, sorted)
 	s.enqueue(opRemove, keys, sorted, false)
 }
 
@@ -694,7 +797,16 @@ func (s *Sharded) enqueueOne(kind opKind, x uint64) bool {
 	c := &s.cells[s.shardOf(x)]
 	c.enqBatches.Add(1)
 	c.enqKeys.Add(1)
-	c.mbox <- shardOp{kind: kind, keys: []uint64{x}, tk: tk}
+	op := shardOp{kind: kind, tk: tk}
+	if s.opt.HotKeys && c.hot.Load().lookup(x) != nil {
+		// Promoted key: mail the compact absorbed form. The exact
+		// fresh/removed answer comes off the slot's effective-membership
+		// flip, so the ticket contract is unchanged.
+		op.hot = []hotEntry{{key: x, n: 1}}
+	} else {
+		op.keys = []uint64{x}
+	}
+	c.mbox <- op
 	s.life.RUnlock()
 	return tk.wait() == 1
 }
@@ -707,15 +819,30 @@ func (s *Sharded) enqueueOne(kind opKind, x uint64) bool {
 // otherwise it returns 0 as soon as everything is enqueued (see asyncSplit
 // for when sub-batches may alias the caller's slice).
 func (s *Sharded) enqueue(kind opKind, keys []uint64, sorted bool, wait bool) int {
+	// Fast pre-pass, outside the lock: tally globally promoted keys before
+	// the sort+scatter — on hot-key-dominated streams this shrinks the
+	// expensive split to the cold residue. The scan doubles as the
+	// reserved-key check (one pass over the batch, not two).
+	var hotIK, hotCounts []uint64
+	if s.opt.HotKeys && !sorted {
+		keys, hotIK, hotCounts = s.hotScan(keys)
+	} else {
+		checkKeys(keys, sorted)
+	}
 	s.life.RLock()
 	if s.closed {
 		s.life.RUnlock()
 		panic("shard: mutation on closed Sharded")
 	}
-	subs := s.asyncSplit(s.router(), keys, sorted, wait)
+	rt := s.router()
+	var hotEnts [][]hotEntry
+	if hotCounts != nil {
+		hotEnts = routeHot(rt, hotIK, hotCounts)
+	}
+	subs := s.asyncSplit(rt, keys, sorted, wait)
 	parts := 0
-	for _, sub := range subs {
-		if len(sub) > 0 {
+	for p := range s.cells {
+		if (subs != nil && len(subs[p]) > 0) || (hotEnts != nil && len(hotEnts[p]) > 0) {
 			parts++
 		}
 	}
@@ -727,14 +854,37 @@ func (s *Sharded) enqueue(kind opKind, keys []uint64, sorted bool, wait bool) in
 	if wait {
 		tk = newTicket(parts)
 	}
-	for p, sub := range subs {
-		if len(sub) == 0 {
+	for p := range s.cells {
+		var sub []uint64
+		if subs != nil {
+			sub = subs[p]
+		}
+		var hot []hotEntry
+		if hotEnts != nil {
+			hot = hotEnts[p]
+		}
+		if len(sub) == 0 && len(hot) == 0 {
 			continue
 		}
 		c := &s.cells[p]
 		c.enqBatches.Add(1)
-		c.enqKeys.Add(uint64(len(sub)))
-		c.mbox <- shardOp{kind: kind, keys: sub, tk: tk}
+		n := uint64(len(sub))
+		for _, e := range hot {
+			n += e.n
+		}
+		c.enqKeys.Add(n)
+		if s.opt.HotKeys && len(sub) > 0 {
+			// Separation against the owning shard's own table catches keys
+			// the global index hasn't picked up yet (and the whole sorted
+			// path). Splitting against a table one retune older than the
+			// writer's is benign — the writer re-checks in applyOne
+			// (backstop strip / demotion fallback).
+			if cold, ents := stripHotSorted(sub, c.hot.Load()); ents != nil {
+				sub = cold
+				hot = append(hot, ents...)
+			}
+		}
+		c.mbox <- shardOp{kind: kind, keys: sub, hot: hot, tk: tk}
 	}
 	s.life.RUnlock()
 	if wait {

@@ -413,6 +413,13 @@ func TestSnapshotPrefixCutDifferential(t *testing.T) {
 	}{
 		{"hash", &Options{Partition: HashPartition, Set: smallSet, Async: true, MailboxDepth: 4}},
 		{"range", &Options{Partition: RangePartition, KeyBits: 16, Set: smallSet, Async: true, MailboxDepth: 4}},
+		// Hot-key absorption must not change the cut contract: absorbed
+		// occurrences reconcile before every publish, so each capture is
+		// still an exact FIFO prefix even mid-absorption.
+		{"hash-hotkey", &Options{Partition: HashPartition, Set: smallSet, Async: true, MailboxDepth: 4,
+			HotKeys: true, HotKeyEvery: 64, HotKeyFrac: 0.1, HotKeyMax: 8}},
+		{"range-hotkey", &Options{Partition: RangePartition, KeyBits: 16, Set: smallSet, Async: true, MailboxDepth: 4,
+			HotKeys: true, HotKeyEvery: 64, HotKeyFrac: 0.1, HotKeyMax: 8}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			const P = 3
@@ -447,6 +454,13 @@ func TestSnapshotPrefixCutDifferential(t *testing.T) {
 			for j := range hist {
 				remove := j%4 == 3
 				keys := workload.Uniform(r, 1+r.Intn(250), 16)
+				if tc.opt.HotKeys {
+					// Make the history hot-heavy so batches actually cross
+					// the separation/absorption path mid-capture.
+					for i := 0; i < 150; i++ {
+						keys = append(keys, 1+uint64(r.Intn(4)))
+					}
+				}
 				hist[j] = histBatch{remove: remove, keys: keys}
 				for _, k := range keys {
 					if remove {

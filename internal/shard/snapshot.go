@@ -55,13 +55,30 @@ type shardSnap struct {
 // published frozen handles is valid forever (Snapshot). rt is the routing
 // table the capture was validated against — the cut's data placement and
 // its routing always agree, even across rebalances.
+//
+// With the hot-key absorber on, a live cut also captures each shard's
+// promoted-key table (hot; same indexing) and the read algorithms overlay
+// the absorbed pending state — reading slot bits under the same read locks
+// that keep the writer out — so live reads stay exact between
+// reconciliations. Snapshot cuts leave hot nil: published handles are
+// reconciled before publication and never need the overlay.
 type cut struct {
 	sets   []*cpma.CPMA // sets[p-lo] is shard p's CPMA
+	hot    []*hotTable  // hot[p-lo] is shard p's promoted-key table (live cuts only)
 	rt     *router
 	lo, hi int
 }
 
 func (v cut) at(p int) *cpma.CPMA { return v.sets[p-v.lo] }
+
+// hotAt returns shard p's captured promoted-key table, nil when the
+// absorber is off, nothing is promoted, or the cut is a snapshot.
+func (v cut) hotAt(p int) *hotTable {
+	if v.hot == nil {
+		return nil
+	}
+	return v.hot[p-v.lo]
+}
 
 // withCut computes the shard interval span(rt) under the current router,
 // acquires those shards' read locks in ascending order, and — after
@@ -89,10 +106,20 @@ func (s *Sharded) withCut(span func(rt *router) (lo, hi int), f func(v cut)) {
 		}
 		if s.router() == rt {
 			sets := make([]*cpma.CPMA, hi-lo+1)
+			var hots []*hotTable
+			if s.opt.HotKeys {
+				// Captured under the read locks: the writer installs tables
+				// and mutates slots only under the write lock, so both are
+				// stable for the cut's lifetime.
+				hots = make([]*hotTable, hi-lo+1)
+			}
 			for p := lo; p <= hi; p++ {
 				sets[p-lo] = s.cells[p].set
+				if hots != nil {
+					hots[p-lo] = s.cells[p].hot.Load()
+				}
 			}
-			f(cut{sets: sets, rt: rt, lo: lo, hi: hi})
+			f(cut{sets: sets, hot: hots, rt: rt, lo: lo, hi: hi})
 			for p := lo; p <= hi; p++ {
 				s.cells[p].mu.RUnlock()
 			}
@@ -323,8 +350,12 @@ func (sn *Snapshot) Validate() error {
 
 func (v cut) length() int {
 	total := 0
-	for _, set := range v.sets {
+	for i, set := range v.sets {
 		total += set.Len()
+		if v.hot != nil {
+			dn, _ := v.hot[i].lenSumDelta()
+			total += dn
+		}
 	}
 	return total
 }
@@ -337,7 +368,12 @@ func (v cut) sizeBytes() uint64 {
 
 func (v cut) sum() uint64 {
 	return parallel.ReduceSum(len(v.sets), 1, func(i int) uint64 {
-		return v.sets[i].Sum()
+		s := v.sets[i].Sum()
+		if v.hot != nil {
+			_, dsum := v.hot[i].lenSumDelta()
+			s += dsum
+		}
+		return s
 	})
 }
 
@@ -356,10 +392,24 @@ func (v cut) rangeSum(start, end uint64) (uint64, int) {
 	var cnt atomic.Int64
 	parallel.For(hi-lo+1, 1, func(i int) {
 		s, k := v.at(lo+i).RangeSum(start, end)
+		if ht := v.hotAt(lo + i); ht != nil {
+			dn, dsum := ht.rangeDelta(start, end)
+			s += dsum
+			k += dn
+		}
 		su.Add(s)
 		cnt.Add(int64(k))
 	})
 	return su.Load(), int(cnt.Load())
+}
+
+// shardNext is one shard's successor query through the overlay (a plain
+// CPMA Next when the shard has no absorbed state).
+func (v cut) shardNext(p int, x uint64) (uint64, bool) {
+	if ht := v.hotAt(p); ht != nil {
+		return overlayNext(v.at(p), ht, x)
+	}
+	return v.at(p).Next(x)
 }
 
 func (v cut) next(x uint64) (uint64, bool) {
@@ -369,7 +419,7 @@ func (v cut) next(x uint64) (uint64, bool) {
 			lo = v.lo
 		}
 		for p := lo; p <= v.hi; p++ {
-			if r, ok := v.at(p).Next(x); ok {
+			if r, ok := v.shardNext(p, x); ok {
 				return r, true
 			}
 		}
@@ -378,18 +428,26 @@ func (v cut) next(x uint64) (uint64, bool) {
 	var best uint64
 	found := false
 	for p := v.lo; p <= v.hi; p++ {
-		if r, ok := v.at(p).Next(x); ok && (!found || r < best) {
+		if r, ok := v.shardNext(p, x); ok && (!found || r < best) {
 			best, found = r, true
 		}
 	}
 	return best, found
 }
 
+// shardMax is one shard's maximum through the overlay.
+func (v cut) shardMax(p int) (uint64, bool) {
+	if ht := v.hotAt(p); ht != nil {
+		return overlayMax(v.at(p), ht)
+	}
+	return v.at(p).Max()
+}
+
 func (v cut) max() (uint64, bool) {
 	var best uint64
 	found := false
 	for p := v.hi; p >= v.lo; p-- {
-		if r, ok := v.at(p).Max(); ok {
+		if r, ok := v.shardMax(p); ok {
 			if v.rt.part == RangePartition {
 				return r, true
 			}
@@ -443,7 +501,11 @@ func (v cut) streamRange(start, end uint64, f func(uint64) bool) bool {
 		hi = v.hi
 	}
 	for p := lo; p <= hi; p++ {
-		if !v.at(p).MapRange(start, end, f) {
+		if ht := v.hotAt(p); ht != nil {
+			if !overlayMapRange(v.at(p), ht, start, end, f) {
+				return false
+			}
+		} else if !v.at(p).MapRange(start, end, f) {
 			return false
 		}
 	}
@@ -452,8 +514,16 @@ func (v cut) streamRange(start, end uint64, f func(uint64) bool) bool {
 
 // streamAll streams every key in order across a range-partitioned cut.
 func (v cut) streamAll(f func(uint64) bool) bool {
-	for _, set := range v.sets {
-		if !set.Map(f) {
+	for i, set := range v.sets {
+		if ht := v.hotAt(v.lo + i); ht != nil {
+			// The overlay merge is half-open; cover the top key explicitly.
+			if !overlayMapRange(set, ht, 1, ^uint64(0), f) {
+				return false
+			}
+			if top := ^uint64(0); overlayHas(set, ht, top) && !f(top) {
+				return false
+			}
+		} else if !set.Map(f) {
 			return false
 		}
 	}
@@ -466,10 +536,15 @@ func (v cut) gatherRange(start, end uint64) []uint64 {
 	lists := make([][]uint64, len(v.sets))
 	parallel.For(len(lists), 1, func(i int) {
 		var keys []uint64
-		v.sets[i].MapRange(start, end, func(x uint64) bool {
+		collect := func(x uint64) bool {
 			keys = append(keys, x)
 			return true
-		})
+		}
+		if ht := v.hotAt(v.lo + i); ht != nil {
+			overlayMapRange(v.sets[i], ht, start, end, collect)
+		} else {
+			v.sets[i].MapRange(start, end, collect)
+		}
 		lists[i] = keys
 	})
 	return mergeLists(lists)
@@ -480,7 +555,8 @@ func (v cut) gatherRange(start, end uint64) []uint64 {
 func (v cut) gatherAll() []uint64 {
 	out := v.gatherRange(1, ^uint64(0))
 	top := ^uint64(0)
-	if v.at(v.rt.shardOf(top)).Has(top) {
+	p := v.rt.shardOf(top)
+	if overlayHas(v.at(p), v.hotAt(p), top) {
 		out = append(out, top)
 	}
 	return out

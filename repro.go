@@ -66,6 +66,23 @@
 // recovery replays against exactly the spans the history was routed
 // with. Rebalancing requires the async pipeline and RangePartition.
 //
+// Neither partitioning nor rebalancing helps when the skew concentrates
+// on a handful of individual keys — all traffic for one key routes to one
+// shard's writer. ShardedSetOptions{HotKeys: true} adds a per-shard
+// hot-key absorber to the async pipeline: a streaming top-k detector
+// promotes the heaviest keys, and promoted traffic collapses into
+// per-key absorbed state (a membership bit plus a last-wins pending op)
+// instead of repeatedly re-proving idempotent updates against the CPMA.
+// Reads stay exact — point and range reads resolve through the overlay,
+// so an absorbed insert or remove is visible under the same contract as
+// an applied one — and every publish (drain, Flush, Snapshot barrier,
+// checkpoint) first reconciles absorbed state into the structure, so
+// published handles and durable state never contain half-absorbed keys:
+// on a durable set the reconciled batch is WAL-appended before it
+// applies, and recovery replays it like any other batch. Keys that cool
+// off demote back to the ordinary path. ShardIngestStats reports the
+// promotion/absorption/reconcile counters.
+//
 // # Durability
 //
 // OpenDurableShardedSet adds crash durability to the async pipeline,
