@@ -9,9 +9,9 @@
 //	cpma-bench all
 //
 // Experiments: fig1 fig2 fig7 fig8 fig11 table1 table3 table4 table5
-// table6 growfactor shards rebalance hotkey persist clonecost all. The
-// defaults are ~100x below paper scale; raise -n/-k on a machine with the
-// paper's 256 GB.
+// table6 growfactor shards rebalance hotkey persist clonecost repl all.
+// The defaults are ~100x below paper scale; raise -n/-k on a machine with
+// the paper's 256 GB.
 //
 // The clonecost experiment measures the publish/checkpoint cost of the
 // leaf-granular COW machinery: per steady-state size it streams uniform
@@ -54,6 +54,17 @@
 // Snapshot captures of the writer-published frozen handles, reporting
 // scan and ingest throughput under each discipline plus the
 // copy-on-publish cost (publishes, clone MB).
+//
+// The repl experiment measures WAL-shipping replication (internal/repl):
+// it preloads and checkpoints a durable primary, then sweeps 0..3
+// in-process followers, reporting bootstrap catch-up time, per-node and
+// fleet snapshot-read capacity (per-node rates are measured
+// time-multiplexed — each node serves while the others idle — and summed,
+// the capacity model for replicas that own their own machines; the
+// co-scheduled single-host aggregate is reported alongside), live-ingest
+// tail lag, and tail catch-up time. Results land in -repljson (the repo's
+// committed BENCH_repl.json). It exits nonzero if the 3-follower fleet
+// capacity misses 2x the primary-only capacity.
 package main
 
 import (
@@ -92,6 +103,7 @@ func main() {
 	hotFrac := flag.Float64("hotfrac", 0, "hot-spot traffic fraction for the hot-key sweep (0 disables the -shards embed; the hotkey experiment defaults to 0.9)")
 	hotKeysN := flag.Int("hotkeys", 4, "distinct hot keys in the hot-key sweep's hot-spot workload")
 	hotJSON := flag.String("hotjson", "BENCH_hotkey.json", "output file for the hotkey experiment's JSON rows")
+	replJSON := flag.String("repljson", "BENCH_repl.json", "output file for the repl experiment's JSON rows")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	flag.Parse()
 
@@ -349,6 +361,12 @@ func main() {
 		}
 		fmt.Fprintln(out)
 	}
+	if all || run["repl"] {
+		if err := runReplSweep(out, *n, *shards, *readers, *seed, *replJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "repl experiment: %v\n", err)
+			fail(1)
+		}
+	}
 	if all || run["clonecost"] {
 		if err := runCloneCost(out, cfg, *n, *cloneJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "clonecost experiment: %v\n", err)
@@ -431,6 +449,72 @@ func runCloneCost(out *os.File, cfg experiments.MicroConfig, n int, jsonPath str
 			return fmt.Errorf("clustered drains at %d keys: clone ratio %.1fx / checkpoint ratio %.1fx below the %.0fx acceptance bound",
 				largest, r.CloneRatio, r.CkptRatio, thr)
 		}
+	}
+	return nil
+}
+
+// runReplSweep runs the replication capacity sweep (0..3 followers),
+// prints the table, writes the JSON rows to jsonPath, and enforces the
+// acceptance gate: fleet snapshot-read capacity at 3 followers must be
+// >= 2x the primary-only capacity.
+func runReplSweep(out *os.File, n, shards, readers int, seed uint64, jsonPath string) error {
+	preload := n / 10
+	if preload < 1_000 {
+		preload = 1_000
+	}
+	dir, err := os.MkdirTemp("", "cpma-repl-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg := experiments.ReplConfig{
+		Shards:    shards,
+		Readers:   readers,
+		Preload:   preload,
+		Followers: []int{0, 1, 2, 3},
+		Seed:      seed,
+	}
+	rows, err := experiments.ReplSweep(cfg, dir)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "WAL-shipping replication (%d shards, %d keys preloaded, %d readers/node): fleet snapshot-read capacity vs follower count\n",
+		shards, preload, cfg.Readers)
+	fmt.Fprintln(out, "(fleet TP = sum of per-node rates measured one node at a time — the capacity model for replicas on their own machines; cosched TP = all nodes sharing this one host)")
+	t := stats.NewTable("followers", "catchup ms", "fleet TP", "gain", "cosched TP", "tail ms", "peak lag", "shipped keys", "boots")
+	for _, r := range rows {
+		t.Row(r.Followers,
+			fmt.Sprintf("%.1f", r.CatchupMS),
+			stats.Sci(r.FleetTP), fmt.Sprintf("%.2fx", r.FleetGain),
+			stats.Sci(r.CoschedTP),
+			fmt.Sprintf("%.1f", r.TailCatchupMS),
+			r.MaxLagRecords, stats.Sci(float64(r.ShippedKeys)), r.Bootstraps)
+	}
+	t.Write(out)
+	fmt.Fprintln(out)
+
+	blob, err := json.MarshalIndent(struct {
+		Shards        int                   `json:"shards"`
+		Readers       int                   `json:"readers_per_node"`
+		PreloadKeys   int                   `json:"preload_keys"`
+		CapacityModel string                `json:"capacity_model"`
+		Rows          []experiments.ReplRow `json:"rows"`
+	}{shards, cfg.Readers, preload,
+		"fleet_read_tp sums per-node rates measured time-multiplexed (one node serving at a time), the capacity model for replicas deployed on separate machines; cosched_read_tp co-schedules every node on this single benchmark host",
+		rows}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "repl: wrote %s\n\n", jsonPath)
+
+	last := rows[len(rows)-1]
+	if last.Followers >= 3 && last.FleetGain < 2.0 {
+		return fmt.Errorf("fleet capacity at %d followers is %.2fx primary-only, below the 2x acceptance bound",
+			last.Followers, last.FleetGain)
 	}
 	return nil
 }

@@ -20,11 +20,25 @@
 // previous run's state (the boot line reports recovered keys and
 // replayed batches). Kill it mid-run and restart to watch recovery
 // truncate the torn tail.
+//
+// A durable server can also replicate. With -listen it serves its WAL to
+// followers while running the workload; a second process started with
+// -follow (and the same -shards) dials it, bootstraps from the
+// checkpoint chain, replays the live record stream into a read-only
+// replica, and serves point lookups and snapshot scans off it until the
+// primary exits:
+//
+//	shardserver -dir /tmp/primary -listen 127.0.0.1:7000
+//	shardserver -follow 127.0.0.1:7000 -shards 8
+//
+// Kill and restart the follower mid-run: the reconnect resumes from its
+// replicated positions instead of re-shipping history.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -42,7 +56,14 @@ func main() {
 	batchSize := flag.Int("batch", 10_000, "keys per batch")
 	depth := flag.Int("depth", 0, "mailbox depth per shard (0 = default)")
 	dir := flag.String("dir", "", "durable store directory: the server recovers its state from here on boot and survives restarts (empty = in-memory only)")
+	listen := flag.String("listen", "", "serve WAL replication to followers on this address (requires -dir)")
+	follow := flag.String("follow", "", "run as a read-only follower of the primary at this address (use the primary's -shards)")
 	flag.Parse()
+
+	if *follow != "" {
+		runFollower(*follow, *shards, *readers, *analysts)
+		return
+	}
 
 	// With -dir the server is durable: every batch is write-ahead logged
 	// by the shard writers, checkpoints are cut in the background, and a
@@ -50,12 +71,23 @@ func main() {
 	// the same -dir and watch the boot line pick up the previous run's
 	// keys.
 	var s *repro.ShardedSet
+	var pr *repro.ReplPrimary
+	var ln net.Listener
+	if *listen != "" && *dir == "" {
+		fmt.Fprintln(os.Stderr, "-listen requires -dir: replication ships the durable WAL")
+		os.Exit(1)
+	}
 	if *dir != "" {
 		var err error
-		s, err = repro.OpenDurableShardedSet(*dir, *shards, &repro.ShardedSetOptions{
+		sopts := &repro.ShardedSetOptions{
 			MailboxDepth:           *depth,
 			CheckpointEveryBatches: 200,
-		})
+		}
+		if *listen != "" {
+			s, pr, err = repro.OpenPrimary(*dir, *shards, sopts)
+		} else {
+			s, err = repro.OpenDurableShardedSet(*dir, *shards, sopts)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "open durable store:", err)
 			os.Exit(1)
@@ -63,6 +95,14 @@ func main() {
 		boot := s.PersistStats()
 		fmt.Printf("recovered %d keys from %s (%d WAL batches replayed, %d keys, %d torn bytes dropped)\n",
 			boot.RecoveredKeys, *dir, boot.ReplayedBatches, boot.ReplayedKeys, boot.TornBytes)
+		if *listen != "" {
+			if ln, err = net.Listen("tcp", *listen); err != nil {
+				fmt.Fprintln(os.Stderr, "listen:", err)
+				os.Exit(1)
+			}
+			go repro.ServeReplication(ln, pr, nil)
+			fmt.Printf("serving WAL replication on %s\n", ln.Addr())
+		}
 	} else {
 		s = repro.NewShardedSetWith(*shards, &repro.ShardedSetOptions{
 			Async:        true,
@@ -173,10 +213,97 @@ func main() {
 			pst.Checkpoints, float64(pst.CheckpointBytes)/(1<<20), pst.TruncatedSegments)
 	}
 
+	// Replicating primaries: give live followers a moment to drain the
+	// tail, report the shipping totals, and stop accepting.
+	if pr != nil {
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			rs := pr.ReplStats()
+			if rs.Links == 0 || rs.LagRecords == 0 {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		rs := pr.ReplStats()
+		fmt.Printf("replication: %d live links, shipped %d records / %.2e keys, %d bootstraps, %d bounds updates, final lag %d records\n",
+			rs.Links, rs.ShippedRecords, float64(rs.ShippedKeys), rs.Bootstraps, rs.BoundsUpdates, rs.LagRecords)
+		ln.Close()
+	}
+
 	// The frozen view stays globally ordered across shards.
 	if lo, ok := final.Min(); ok {
 		hi, _ := final.Max()
 		_, cnt := final.RangeSum(lo, lo+(hi-lo)/1000)
 		fmt.Printf("keys span [%d, %d]; first 0.1%% of the span holds %d keys\n", lo, hi, cnt)
 	}
+}
+
+// runFollower is the -follow mode: a read-only replica that dials the
+// primary, bootstraps from its checkpoint chain, replays the live record
+// stream, and serves point lookups and snapshot scans until the primary
+// goes away (client mutations on the replica panic by contract).
+func runFollower(addr string, shards, readers, analysts int) {
+	f := repro.OpenFollower(shards, nil)
+	c, err := repro.DialPrimary(addr, f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dial primary:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("following %s with %d shards\n", addr, shards)
+	set := f.Set()
+
+	var lookups, scans atomic.Int64
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := repro.NewRNG(uint64(3000 + g))
+			for !done.Load() {
+				set.Has(1 + r.Uint64()%(1<<40))
+				lookups.Add(1)
+			}
+		}(g)
+	}
+	for g := 0; g < analysts; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := repro.NewRNG(uint64(4000 + g))
+			for !done.Load() {
+				snap := f.Snapshot()
+				lo := r.Uint64() % (1 << 40)
+				snap.RangeSum(lo, lo+1<<34)
+				scans.Add(1)
+			}
+		}(g)
+	}
+
+	start := time.Now()
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+serve:
+	for {
+		select {
+		case <-c.Done():
+			break serve
+		case <-tick.C:
+			st := f.Stats()
+			fmt.Printf("  applied %d records / %.2e keys (%d bootstraps); serving %d keys\n",
+				st.AppliedRecords, float64(st.AppliedKeys), st.Bootstraps, set.Len())
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+	if err := c.Err(); err != nil {
+		fmt.Printf("stream ended: %v\n", err)
+	}
+	c.Close()
+
+	st := f.Stats()
+	elapsed := time.Since(start)
+	fmt.Printf("follower final: %d keys after %d records / %.2e keys replayed (%d bootstraps); served %.2e lookups and %d scans in %.2fs\n",
+		set.Len(), st.AppliedRecords, float64(st.AppliedKeys), st.Bootstraps,
+		float64(lookups.Load()), scans.Load(), elapsed.Seconds())
 }

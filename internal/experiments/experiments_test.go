@@ -295,3 +295,37 @@ func TestShardHotKeySweep(t *testing.T) {
 		}
 	}
 }
+
+func TestReplSweep(t *testing.T) {
+	cfg := ReplConfig{
+		Shards:    2,
+		Readers:   1,
+		Preload:   5_000,
+		Followers: []int{0, 2},
+		MeasureMS: 30,
+		Seed:      5,
+	}
+	rows, err := ReplSweep(cfg, t.TempDir())
+	if err != nil {
+		t.Fatalf("ReplSweep: %v", err)
+	}
+	if len(rows) != 2 || rows[0].Followers != 0 || rows[1].Followers != 2 {
+		t.Fatalf("want rows for 0 and 2 followers, got %+v", rows)
+	}
+	base, fleet := rows[0], rows[1]
+	if base.FleetTP <= 0 || fleet.FleetTP <= 0 || fleet.CoschedTP <= 0 {
+		t.Fatalf("bad throughputs: %+v", rows)
+	}
+	if len(base.NodeReadTP) != 1 || len(fleet.NodeReadTP) != 3 {
+		t.Fatalf("per-node rate counts off: %d and %d", len(base.NodeReadTP), len(fleet.NodeReadTP))
+	}
+	if fleet.FleetGain <= 1 {
+		t.Fatalf("two followers added no fleet capacity: gain %.2fx", fleet.FleetGain)
+	}
+	if fleet.Bootstraps == 0 {
+		t.Fatal("followers joined after a checkpoint but never bootstrapped")
+	}
+	if fleet.ShippedKeys == 0 {
+		t.Fatal("tail phase shipped nothing")
+	}
+}

@@ -41,57 +41,9 @@ func (st *Store) recoverShard(sh *storeShard) (*cpma.CPMA, error) {
 		}
 	}
 
-	// Newest verifiable base checkpoint wins; older ones are only
-	// fallbacks.
-	ckptSeqs, err := listSeqFiles(sh.dir, "ckpt-", ".ckpt")
+	set, base, tip, applied, ckptSeqs, deltaSeqs, err := loadChain(sh.dir, sh.id, st.opt.Set)
 	if err != nil {
 		return nil, err
-	}
-	var set *cpma.CPMA
-	base := uint64(0)
-	for i := len(ckptSeqs) - 1; i >= 0; i-- {
-		s, lerr := loadCheckpoint(filepath.Join(sh.dir, checkpointName(ckptSeqs[i])), sh.id, ckptSeqs[i], st.opt.Set)
-		if lerr == nil {
-			set, base = s, ckptSeqs[i]
-			break
-		}
-	}
-	if set == nil {
-		set = cpma.New(st.opt.Set)
-	}
-
-	// Walk the base's delta chain: ascending sequences past the base,
-	// each linking to the chain (its baseSeq names this base, its prevSeq
-	// the current tip) and verifying end to end. Each delta is applied
-	// onto a COW clone of the current link, so a delta that fails late —
-	// the strict semantic validator runs after the patch — costs nothing:
-	// the clone is discarded and the previous link, untouched, is the
-	// recovery point. Deltas at or below the base belong to the retained
-	// previous chain (fallback material, skipped here, reaped by the next
-	// base checkpoint).
-	deltaSeqs, err := listSeqFiles(sh.dir, "delta-", ".dckpt")
-	if err != nil {
-		return nil, err
-	}
-	tip := base
-	applied := 0
-	for _, ds := range deltaSeqs {
-		if ds <= base || base == 0 {
-			continue
-		}
-		prevSeq, baseRef, payload, lerr := loadDelta(filepath.Join(sh.dir, deltaName(ds)), sh.id, ds)
-		if lerr != nil || baseRef != base || prevSeq != tip {
-			break
-		}
-		next := set.Clone()
-		if err := next.ApplyDeltaFrom(bytes.NewReader(payload)); err != nil {
-			break
-		}
-		if err := next.Validate(); err != nil {
-			break
-		}
-		set, tip = next, ds
-		applied++
 	}
 
 	// Anything newer than the recovered chain failed verification (a base
@@ -231,20 +183,84 @@ func (st *Store) recoverShard(sh *storeShard) (*cpma.CPMA, error) {
 	}
 	sh.seg = sg
 	sh.seq.Store(last)
+	// Everything recovery kept was read back from disk, so the shippable
+	// seal starts at the full recovered log.
+	sh.syncedSeq = last
 	if err := syncDir(sh.dir); err != nil {
+		sg.close()
 		return nil, err
 	}
 	return set, nil
 }
 
+// loadChain loads the newest verifiable checkpoint chain in a shard
+// directory without modifying anything on disk: the winning base (or an
+// empty set when none verifies), the delta links that verify and connect,
+// and the directory listings it worked from. recoverShard layers log
+// repair and anti-resurrection deletion on top; the follower bootstrap
+// (Store.BootState) uses it read-only under ckptMu.
+//
+// The chain walk: ascending delta sequences past the base, each linking
+// to the chain (its baseSeq names this base, its prevSeq the current tip)
+// and verifying end to end. Each delta is applied onto a COW clone of the
+// current link, so a delta that fails late — the strict semantic
+// validator runs after the patch — costs nothing: the clone is discarded
+// and the previous link, untouched, is the recovery point. Deltas at or
+// below the base belong to the retained previous chain (fallback
+// material, skipped here, reaped by the next base checkpoint).
+func loadChain(dir string, shardID int, opts *cpma.Options) (set *cpma.CPMA, base, tip uint64, applied int, ckptSeqs, deltaSeqs []uint64, err error) {
+	// Newest verifiable base checkpoint wins; older ones are only
+	// fallbacks.
+	ckptSeqs, err = listSeqFiles(dir, "ckpt-", ".ckpt")
+	if err != nil {
+		return nil, 0, 0, 0, nil, nil, err
+	}
+	for i := len(ckptSeqs) - 1; i >= 0; i-- {
+		s, lerr := loadCheckpoint(filepath.Join(dir, checkpointName(ckptSeqs[i])), shardID, ckptSeqs[i], opts)
+		if lerr == nil {
+			set, base = s, ckptSeqs[i]
+			break
+		}
+	}
+	if set == nil {
+		set = cpma.New(opts)
+	}
+	deltaSeqs, err = listSeqFiles(dir, "delta-", ".dckpt")
+	if err != nil {
+		return nil, 0, 0, 0, nil, nil, err
+	}
+	tip = base
+	for _, ds := range deltaSeqs {
+		if ds <= base || base == 0 {
+			continue
+		}
+		prevSeq, baseRef, payload, lerr := loadDelta(filepath.Join(dir, deltaName(ds)), shardID, ds)
+		if lerr != nil || baseRef != base || prevSeq != tip {
+			break
+		}
+		next := set.Clone()
+		if aerr := next.ApplyDeltaFrom(bytes.NewReader(payload)); aerr != nil {
+			break
+		}
+		if verr := next.Validate(); verr != nil {
+			break
+		}
+		set, tip = next, ds
+		applied++
+	}
+	return set, base, tip, applied, ckptSeqs, deltaSeqs, nil
+}
+
 // dropOutOfSpan removes from a recovered shard every key outside its span
-// under the authoritative boundary table, returning how many were
-// dropped. Nonzero only after a crash inside a rebalance barrier, where
-// the moved keys can transiently exist in both shards of the pair; the
-// copy in the shard that does not own them under the recovered table is
-// the stale one (the barrier protocol's ordering guarantees the owning
-// shard's copy is durable).
-func dropOutOfSpan(set *cpma.CPMA, p, shards int, bounds []uint64) int {
+// under the authoritative boundary table, returning the dropped keys in
+// ascending order. Nonempty only after a crash inside a rebalance
+// barrier, where the moved keys can transiently exist in both shards of
+// the pair; the copy in the shard that does not own them under the
+// recovered table is the stale one (the barrier protocol's ordering
+// guarantees the owning shard's copy is durable). Open journals the
+// returned keys as a remove record so the on-disk history stays equal to
+// the recovered state.
+func dropOutOfSpan(set *cpma.CPMA, p, shards int, bounds []uint64) []uint64 {
 	var lo, hi uint64
 	if p > 0 {
 		lo = bounds[p-1]
@@ -272,9 +288,10 @@ func dropOutOfSpan(set *cpma.CPMA, p, shards int, bounds []uint64) int {
 		}
 	}
 	if len(stale) == 0 {
-		return 0
+		return nil
 	}
-	return set.RemoveBatch(stale, true)
+	set.RemoveBatch(stale, true)
+	return stale
 }
 
 // truncateFile cuts path to size bytes and forces the new length down.

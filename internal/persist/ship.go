@@ -1,0 +1,205 @@
+package persist
+
+// The read side of WAL shipping. A replication shipper follows a shard's
+// log by (position, seal): the position is the last record sequence the
+// follower has applied, the seal (ShippableUpTo) is the last sequence the
+// primary knows is fsynced. ReadShippable returns the records strictly
+// between them, never reading a byte the writer has not both flushed and
+// fsynced — the active segment's file can trail the acknowledged log by a
+// whole bufio buffer, or lead the durable prefix with a torn frame the
+// buffer half-flushed, and neither state may ever be shipped.
+//
+// Bootstrap reuses the checkpoint chain: BootState loads the newest
+// verifiable base + delta chain exactly as recovery would and returns the
+// state together with the sequence it covers; the shipper then streams
+// records from that sequence on. When retention has deleted the records a
+// position needs (only base checkpoints advance the deletion floor), the
+// reader reports ErrPositionGone and the follower re-bootstraps.
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cpma"
+)
+
+// Position is one shard's replication position: the checkpoint-chain tip
+// the state was seeded from (zero when none) and the last WAL record
+// sequence known durable/applied. Comparable across primary and follower
+// because sequence numbers are per shard, start at 1, and never reset.
+type Position struct {
+	CkptSeq uint64
+	Seq     uint64
+}
+
+// ErrPositionGone reports that the records a shipper asked for have been
+// deleted behind a newer base checkpoint — the retention floor passed the
+// position. The follower must re-bootstrap from the checkpoint chain
+// (BootState) and resume from its tip.
+var ErrPositionGone = errors.New("persist: replication position below the WAL retention floor")
+
+// Rec is one replicated WAL record: a sorted key batch applied as an
+// insert or a removal. Rebalance barrier records ship as the insert or
+// removal they replay as — a follower needs no barrier protocol, because
+// per shard the log is already a total order.
+type Rec struct {
+	Seq    uint64
+	Remove bool
+	Keys   []uint64
+}
+
+// ShippableUpTo returns shard p's seal boundary: the sequence of the last
+// record covered by an fsync. Records at or below it are immutable on
+// disk and safe to ship; records above it are still owned by the writer
+// (possibly buffered, possibly torn mid-frame in the file) and must not
+// be read.
+func (st *Store) ShippableUpTo(p int) uint64 {
+	sh := st.shards[p]
+	sh.mu.Lock()
+	seal := sh.syncedSeq
+	sh.mu.Unlock()
+	return seal
+}
+
+// Positions returns every shard's current durable position: checkpoint
+// chain tip and shippable seal.
+func (st *Store) Positions() []Position {
+	out := make([]Position, len(st.shards))
+	for p, sh := range st.shards {
+		sh.mu.Lock()
+		seq := sh.syncedSeq
+		sh.mu.Unlock()
+		out[p] = Position{CkptSeq: sh.ckptSeq.Load(), Seq: seq}
+	}
+	return out
+}
+
+// ReadShippable returns shard p's sealed records with sequence in
+// (afterSeq, ShippableUpTo(p)], in order, stopping early once maxKeys
+// keys have been collected (0 = unbounded). A nil, nil return means the
+// follower is caught up to the seal. ErrPositionGone means retention has
+// deleted records the position still needs.
+//
+// Safe against the live appender without holding its lock during I/O:
+// the seal and the active segment's synced byte length are captured
+// together under the lock, every record at or below the captured seal
+// lies within those bytes (sync covers the whole segment prefix), and
+// any file or byte that appears afterwards can only carry records above
+// the seal, which are filtered out.
+func (st *Store) ReadShippable(p int, afterSeq uint64, maxKeys int) ([]Rec, error) {
+	sh := st.shards[p]
+	sh.mu.Lock()
+	seal := sh.syncedSeq
+	activePath := sh.seg.path
+	activeSynced := sh.seg.synced
+	sh.mu.Unlock()
+	if afterSeq >= seal {
+		return nil, nil
+	}
+	segSeqs, err := listSeqFiles(sh.dir, "wal-", ".log")
+	if err != nil {
+		return nil, err
+	}
+	// Record afterSeq+1 lives in the segment with the largest first-seq at
+	// or below it (segments cover the sequence space contiguously). If no
+	// such segment exists the record was retired behind a base checkpoint.
+	start := -1
+	for i, fs := range segSeqs {
+		if fs <= afterSeq+1 {
+			start = i
+		}
+	}
+	if start < 0 {
+		return nil, ErrPositionGone
+	}
+	var out []Rec
+	keys := 0
+	for i := start; i < len(segSeqs); i++ {
+		fs := segSeqs[i]
+		if fs > seal {
+			break // sorted: every later file starts above the seal too
+		}
+		var recs []walRecord
+		path := filepath.Join(sh.dir, segmentName(fs))
+		if path == activePath {
+			if activeSynced < segHeaderSize {
+				continue // freshly created active segment, nothing sealed yet
+			}
+			data, rerr := readPrefix(path, activeSynced)
+			if rerr != nil {
+				if os.IsNotExist(rerr) {
+					return nil, ErrPositionGone
+				}
+				return nil, rerr
+			}
+			recs, _, _ = scanSegmentBytes(data, sh.id)
+		} else {
+			var headerOK bool
+			recs, _, headerOK, err = scanSegment(path, sh.id)
+			if err != nil {
+				if os.IsNotExist(err) {
+					// Deleted between listing and reading: the retention
+					// floor passed it, and with it our position.
+					return nil, ErrPositionGone
+				}
+				return nil, err
+			}
+			if !headerOK {
+				// A tail file a crash cut before its header reached disk:
+				// the log ends before it (recovery deletes these on reopen;
+				// a live reader just stops).
+				break
+			}
+		}
+		for _, r := range recs {
+			if r.seq <= afterSeq {
+				continue
+			}
+			if r.seq > seal {
+				break
+			}
+			out = append(out, Rec{Seq: r.seq, Remove: r.remove(), Keys: r.keys})
+			keys += len(r.keys)
+		}
+		if maxKeys > 0 && keys >= maxKeys {
+			break
+		}
+	}
+	return out, nil
+}
+
+// BootState loads shard p's newest verifiable checkpoint chain — the same
+// walk recovery performs, read-only — and returns the state plus the
+// record sequence it covers. A follower seeds its shard with the state
+// and resumes shipping from the returned sequence; combined with the
+// journaled span-enforcement drops (see Open), chain state ⊕ records
+// after its tip is always exactly the primary's acknowledged history.
+// Runs under ckptMu so the checkpointer cannot reshape the chain mid-walk.
+func (st *Store) BootState(p int) (*cpma.CPMA, uint64, error) {
+	st.ckptMu.Lock()
+	defer st.ckptMu.Unlock()
+	sh := st.shards[p]
+	set, _, tip, _, _, _, err := loadChain(sh.dir, sh.id, st.opt.Set)
+	if err != nil {
+		return nil, 0, err
+	}
+	return set, tip, nil
+}
+
+// readPrefix reads exactly the first n bytes of path. The caller only
+// asks for byte ranges an fsync has covered, so a short read is a real
+// error, not a race.
+func readPrefix(path string, n int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

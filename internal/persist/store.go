@@ -80,6 +80,7 @@ type storeShard struct {
 	mu           sync.Mutex
 	seg          *segment
 	seq          atomic.Uint64 // last appended record sequence
+	syncedSeq    uint64        // last record covered by an fsync — the shippable seal (mu)
 	pendingRecs  int           // records since last fsync
 	pendingBytes int
 	encBuf       []byte
@@ -144,6 +145,15 @@ func Open(opts Options) (*Store, []*cpma.CPMA, error) {
 	opened := false
 	defer func() {
 		if !opened {
+			// Close every segment a successfully recovered shard left open:
+			// a later shard failing validation must not leak the earlier
+			// shards' WAL file handles (callers commonly retry Open after
+			// fixing the directory, and leaked fds accumulate per attempt).
+			for _, sh := range st.shards {
+				if sh != nil && sh.seg != nil {
+					sh.seg.close()
+				}
+			}
 			st.releaseLock()
 		}
 	}()
@@ -178,7 +188,23 @@ func Open(opts Options) (*Store, []*cpma.CPMA, error) {
 			bounds = shard.DefaultBounds(o.KeyBits, o.Shards)
 		}
 		for p, set := range sets {
-			st.droppedKeys += uint64(dropOutOfSpan(set, p, o.Shards, bounds))
+			stale := dropOutOfSpan(set, p, o.Shards, bounds)
+			if len(stale) == 0 {
+				continue
+			}
+			st.droppedKeys += uint64(len(stale))
+			// Journal the drop as an ordinary remove record, fsynced before
+			// the store is handed out: without it the on-disk history
+			// (chain + WAL) would disagree with the in-memory state by
+			// exactly these keys, and a follower bootstrapping from the
+			// chain would resurrect them with no later record to remove
+			// them. With it, chain ⊕ WAL is always the acknowledged state.
+			if _, err := st.appendKind(p, recRemove, 0, stale); err != nil {
+				return nil, nil, err
+			}
+			if err := st.Synced(p); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
 	for _, set := range sets {
@@ -401,6 +427,7 @@ func (st *Store) syncLocked(sh *storeShard) error {
 	}
 	sh.pendingRecs = 0
 	sh.pendingBytes = 0
+	sh.syncedSeq = sh.seq.Load()
 	st.fsyncs.Add(1)
 	return nil
 }

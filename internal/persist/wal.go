@@ -157,6 +157,16 @@ type segment struct {
 	w       *bufio.Writer
 	path    string
 	records int
+	// size is the byte length of everything written into the segment —
+	// header plus frames — including bytes still sitting in w's buffer.
+	// synced is the prefix known to be both flushed and fsynced. The two
+	// are the shippable seal (ship.go): bytes past synced may be absent
+	// from the file entirely, or present as a torn frame (bufio flushes
+	// mid-frame whenever its buffer fills), even though the records they
+	// encode are already acknowledged to callers. Both are guarded by the
+	// owning storeShard's mu.
+	size   int64
+	synced int64
 }
 
 // segmentName returns the file name for a segment whose first record will
@@ -173,7 +183,7 @@ func createSegment(path string, shardID int) (*segment, error) {
 	if err != nil {
 		return nil, err
 	}
-	sg := &segment{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path}
+	sg := &segment{f: f, w: bufio.NewWriterSize(f, 1<<16), path: path, size: segHeaderSize}
 	var hdr [segHeaderSize]byte
 	copy(hdr[:], segMagic)
 	binary.LittleEndian.PutUint32(hdr[8:], walVersion)
@@ -190,15 +200,21 @@ func (sg *segment) append(frame []byte) error {
 		return err
 	}
 	sg.records++
+	sg.size += int64(len(frame))
 	return nil
 }
 
-// sync flushes buffered records and fsyncs the file.
+// sync flushes buffered records and fsyncs the file, advancing the
+// shippable seal to cover everything written so far.
 func (sg *segment) sync() error {
 	if err := sg.w.Flush(); err != nil {
 		return err
 	}
-	return sg.f.Sync()
+	if err := sg.f.Sync(); err != nil {
+		return err
+	}
+	sg.synced = sg.size
+	return nil
 }
 
 func (sg *segment) close() error {
@@ -220,29 +236,42 @@ func scanSegment(path string, shardID int) (recs []walRecord, validEnd int64, he
 	if err != nil {
 		return nil, 0, false, err
 	}
+	recs, validEnd, headerOK = scanSegmentBytes(data, shardID)
+	return recs, validEnd, headerOK, nil
+}
+
+// scanSegmentBytes is scanSegment over an in-memory prefix of a segment
+// file. The shippable reader uses it to scan exactly the sealed prefix of
+// the active segment: data is the file's first synced bytes, so a torn
+// frame the writer's bufio buffer half-flushed past the seal can never be
+// observed. A short or missing header (headerOK false) is not an error —
+// it is the normal state of a freshly created segment before its first
+// sync, and of a tail file a crash cut between creation and the header
+// reaching disk.
+func scanSegmentBytes(data []byte, shardID int) (recs []walRecord, validEnd int64, headerOK bool) {
 	if len(data) < segHeaderSize || string(data[:8]) != segMagic ||
 		binary.LittleEndian.Uint32(data[8:]) < walVersionMin ||
 		binary.LittleEndian.Uint32(data[8:]) > walVersion ||
 		binary.LittleEndian.Uint32(data[12:]) != uint32(shardID) {
-		return nil, 0, false, nil
+		return nil, 0, false
 	}
 	off := int64(segHeaderSize)
 	for {
 		rest := data[off:]
 		if len(rest) < recHeaderSize {
-			return recs, off, true, nil
+			return recs, off, true
 		}
 		plen := binary.LittleEndian.Uint32(rest)
 		if plen == 0 || plen > maxRecordBytes || int(plen) > len(rest)-recHeaderSize {
-			return recs, off, true, nil
+			return recs, off, true
 		}
 		payload := rest[recHeaderSize : recHeaderSize+int(plen)]
 		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[4:]) {
-			return recs, off, true, nil
+			return recs, off, true
 		}
 		rec, derr := decodeRecord(payload)
 		if derr != nil {
-			return recs, off, true, nil
+			return recs, off, true
 		}
 		rec.start = off
 		rec.end = off + recHeaderSize + int64(plen)

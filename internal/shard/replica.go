@@ -1,0 +1,157 @@
+package shard
+
+// Replica mode: a read-only Sharded set driven by a replication applier
+// (repro/internal/repl) instead of clients. A replica runs the synchronous
+// engine with no mailboxes, no journal, and no rebalancer — its mutation
+// history arrives pre-serialized as per-shard WAL records, already sorted
+// and already routed, so the only writes it needs are the applier's
+// ReplicaApply/ReplicaReset/ReplicaSetBounds below. Everything on the
+// read side — live atomic-cut reads, Snapshot (the sync-mode capture:
+// all read locks, clone-if-changed publication), SnapshotStats — works
+// unchanged, which is the point: a follower serves the exact read API the
+// primary does, off state that is always a per-shard prefix of the
+// primary's acknowledged history.
+//
+// Client mutations (Insert, InsertBatch, ...) panic on a replica: the
+// replica's state must be a pure function of the replicated log, and a
+// single locally inserted key would silently break the prefix invariant
+// the differential harness (and any failover story) depends on.
+
+import (
+	"repro/internal/cpma"
+)
+
+// NewReplica returns a read-only Sharded set for a replication follower.
+// Only the geometry and read-side options are honored (Partition, KeyBits,
+// Bounds, BoundsGen, Set); ingest options are ignored — appliers write
+// through the Replica* methods, clients through none.
+func NewReplica(shards int, opts *Options) *Sharded {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	ro := Options{
+		Partition: o.Partition,
+		KeyBits:   o.KeyBits,
+		Bounds:    o.Bounds,
+		BoundsGen: o.BoundsGen,
+		Set:       o.Set,
+	}
+	s := newSharded(shards, nil, &ro)
+	s.replica = true
+	return s
+}
+
+// Replica reports whether this set is a read-only replication follower.
+func (s *Sharded) Replica() bool { return s.replica }
+
+// checkNotReplica guards the client mutation entry points.
+func (s *Sharded) checkNotReplica() {
+	if s.replica {
+		panic("shard: client mutation on a replication follower (replicas only change by replay)")
+	}
+}
+
+// ReplicaApply applies one replicated record to shard p: a sorted key
+// batch, inserted or removed exactly as the primary's writer applied it.
+// Returns the number of keys whose membership changed. Caller is the
+// single applier goroutine; concurrent readers are safe (the shard's
+// write lock serializes them), concurrent appliers on one shard are not.
+func (s *Sharded) ReplicaApply(p int, remove bool, keys []uint64) int {
+	if !s.replica {
+		panic("shard: ReplicaApply on a non-replica set")
+	}
+	c := &s.cells[p]
+	c.enqBatches.Add(1)
+	c.enqKeys.Add(uint64(len(keys)))
+	c.appBatches.Add(1)
+	c.appKeys.Add(uint64(len(keys)))
+	c.mu.Lock()
+	var n int
+	if remove {
+		n = c.set.RemoveBatch(keys, true)
+	} else {
+		n = c.set.InsertBatch(keys, true)
+	}
+	if n > 0 {
+		c.epoch.Add(1)
+	}
+	c.mu.Unlock()
+	return n
+}
+
+// ReplicaReset replaces shard p's entire state — the bootstrap path: the
+// applier installs a checkpoint-chain state received from the primary and
+// resumes record replay from the sequence it covers. Ownership of set
+// transfers to the shard.
+func (s *Sharded) ReplicaReset(p int, set *cpma.CPMA) {
+	if !s.replica {
+		panic("shard: ReplicaReset on a non-replica set")
+	}
+	if set == nil {
+		set = cpma.New(s.opt.Set)
+	}
+	c := &s.cells[p]
+	c.mu.Lock()
+	c.set = set
+	c.epoch.Add(1)
+	c.mu.Unlock()
+}
+
+// ReplicaSetBounds installs the primary's boundary table at router
+// generation gen, so the follower's range routing (shardSpan on reads,
+// span pruning on MapRange) matches the shard contents the replicated
+// moves produce. Stale or repeated generations are ignored. Single
+// applier goroutine; concurrent readers revalidate the router pointer
+// after locking and simply retry across the swap, exactly as they do on
+// the primary. No-op under HashPartition.
+func (s *Sharded) ReplicaSetBounds(gen uint64, bounds []uint64) {
+	if !s.replica {
+		panic("shard: ReplicaSetBounds on a non-replica set")
+	}
+	if s.opt.Partition != RangePartition || len(s.cells) < 2 {
+		return
+	}
+	old := s.rt.Load()
+	if gen <= old.gen {
+		return
+	}
+	nb := append([]uint64(nil), bounds...)
+	checkBounds(nb, len(s.cells))
+	sg := make([]uint64, len(s.cells))
+	for i := range sg {
+		sg[i] = gen
+	}
+	s.rt.Store(&router{
+		part:    RangePartition,
+		shards:  len(s.cells),
+		bounds:  nb,
+		gen:     gen,
+		spanGen: sg,
+	})
+}
+
+// RouterBounds returns the current boundary table (a copy; nil under
+// HashPartition) and its router generation from one atomic router load —
+// the pair a replication shipper forwards to followers, where reading
+// them in separate calls could pair a table with a neighboring
+// generation across a concurrent move.
+func (s *Sharded) RouterBounds() (gen uint64, bounds []uint64) {
+	rt := s.router()
+	if rt.bounds == nil {
+		return rt.gen, nil
+	}
+	return rt.gen, append([]uint64(nil), rt.bounds...)
+}
+
+// ShardKeys returns shard p's keys in ascending order under its read
+// lock — the differential harness's per-shard comparison primitive (the
+// prefix invariant is per shard, so the comparison must be too; a
+// cross-shard read would route through bounds that may sit at a different
+// point of the move history than the shard contents do).
+func (s *Sharded) ShardKeys(p int) []uint64 {
+	c := &s.cells[p]
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.set.Keys()
+}

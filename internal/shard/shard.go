@@ -481,6 +481,10 @@ type Sharded struct {
 	closed  bool
 	writers sync.WaitGroup
 
+	// replica marks a read-only replication follower (replica.go): client
+	// mutations panic, state changes only through the Replica* appliers.
+	replica bool
+
 	// Rebalancer state: rebalMu serializes moves (monitor vs manual
 	// RebalanceOnce), rebalStop ends the monitor goroutine.
 	rebalMu        sync.Mutex
@@ -640,6 +644,12 @@ func (s *Sharded) Shards() int { return len(s.cells) }
 // Async reports whether this set runs the mailbox ingest pipeline.
 func (s *Sharded) Async() bool { return s.opt.Async }
 
+// Partition returns the routing policy keys are partitioned by.
+func (s *Sharded) Partition() Partition { return s.opt.Partition }
+
+// KeyBits returns the configured key width (64 when unset).
+func (s *Sharded) KeyBits() int { return s.opt.KeyBits }
+
 // checkKey rejects the reserved key 0 at the API boundary, in the caller's
 // goroutine — once writers are asynchronous, a panic inside one would be
 // unrecoverable for the client that enqueued the bad key.
@@ -668,6 +678,7 @@ func checkKeys(keys []uint64, sorted bool) {
 // an async set it routes through the owning shard's mailbox (behind any
 // batches already enqueued) and waits for the apply.
 func (s *Sharded) Insert(x uint64) bool {
+	s.checkNotReplica()
 	checkKey(x)
 	if s.opt.Async {
 		return s.enqueueOne(opInsert, x)
@@ -686,6 +697,7 @@ func (s *Sharded) Insert(x uint64) bool {
 // Remove deletes x, returning false if absent. Locks one shard; on an
 // async set it routes through the mailbox like Insert.
 func (s *Sharded) Remove(x uint64) bool {
+	s.checkNotReplica()
 	checkKey(x)
 	if s.opt.Async {
 		return s.enqueueOne(opRemove, x)
@@ -738,6 +750,7 @@ func (s *Sharded) Has(x uint64) bool {
 // async set the sub-batches go through the mailboxes with a completion
 // ticket, so the call still blocks until applied and the count is exact.
 func (s *Sharded) InsertBatch(keys []uint64, sorted bool) int {
+	s.checkNotReplica()
 	if s.opt.Async {
 		return s.enqueue(opInsert, keys, sorted, true)
 	}
@@ -749,6 +762,7 @@ func (s *Sharded) InsertBatch(keys []uint64, sorted bool) int {
 
 // RemoveBatch removes a batch of keys, returning how many were present.
 func (s *Sharded) RemoveBatch(keys []uint64, sorted bool) int {
+	s.checkNotReplica()
 	if s.opt.Async {
 		return s.enqueue(opRemove, keys, sorted, true)
 	}

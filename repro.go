@@ -108,6 +108,28 @@
 // segments, checkpoints) are versioned via magics; mismatched versions or
 // set geometry (shard count, partition, key bits) are rejected at open.
 //
+// # Replication
+//
+// OpenPrimary and OpenFollower turn a durable sharded set into a
+// primary/replica group: the primary streams its sealed per-shard WAL
+// records (and, for fresh or lagging followers, whole checkpoint-chain
+// states — another payoff of the pointer-free slab format, which ships as
+// flat bytes) to read-only followers that replay them and serve the full
+// snapshot and live read API. PairReplica wires a follower in process;
+// ServeReplication/DialPrimary do the same over a length-prefixed socket
+// protocol with resume-from-position on reconnect.
+//
+// The contract (repro/internal/repl has the fine print): each follower
+// shard is always an exact prefix of the primary's acknowledged, fsynced
+// record history for that shard — the shipper never reads past the
+// primary's fsync seal, the applier enforces gap-free sequence
+// continuity, and a follower that cannot keep the invariant stops with an
+// error rather than approximating. Cross-shard, a follower is eventually
+// consistent (shards ship independently); when caught up against a
+// quiescent primary it equals the primary exactly, boundary tables
+// included. Followers reject client mutations by panic: their state is a
+// pure function of the replicated log.
+//
 // Quick start:
 //
 //	s := repro.NewSet(nil)
@@ -116,11 +138,14 @@
 package repro
 
 import (
+	"net"
+
 	"repro/internal/cpma"
 	"repro/internal/fgraph"
 	"repro/internal/graph"
 	"repro/internal/persist"
 	"repro/internal/pma"
+	"repro/internal/repl"
 	"repro/internal/shard"
 	"repro/internal/workload"
 )
@@ -227,6 +252,90 @@ func OpenDurableShardedSet(dir string, shards int, opts *ShardedSetOptions) (*Sh
 	o.Dir = dir
 	s, _, err := persist.OpenSharded(shards, &o)
 	return s, err
+}
+
+// ReplPrimary is the shipping side of WAL replication: it wraps a durable
+// ShardedSet and streams sealed records, bootstrap states, and boundary
+// tables to followers over in-process links (PairReplica) and socket
+// connections (ServeReplication). ReplStats reports its counters.
+type ReplPrimary = repl.Primary
+
+// ReplFollower is the replay side: a read-only replica ShardedSet plus
+// per-shard replication positions. Reads go through Set or Snapshot;
+// client mutations panic. One link (PairReplica or DialPrimary) may drive
+// a follower at a time; across links it resumes from its positions.
+type ReplFollower = repl.Follower
+
+// ReplLink is a running in-process replication link (PairReplica).
+type ReplLink = repl.Link
+
+// ReplConn is a follower's live socket connection to a serving primary
+// (DialPrimary).
+type ReplConn = repl.Conn
+
+// ReplOptions tunes a replication link's tail poll interval and read
+// batch size; nil selects the defaults.
+type ReplOptions = repl.Options
+
+// ReplStats reports a primary's shipping counters (live links, records
+// and keys shipped, bootstraps, boundary-table ships, and the largest
+// sealed-but-unshipped lag across links).
+type ReplStats = repl.ReplStats
+
+// ReplFollowerStats reports a follower's replay counters.
+type ReplFollowerStats = repl.FollowerStats
+
+// OpenPrimary opens (creating if absent) the durable sharded set under
+// dir, exactly as OpenDurableShardedSet does, and wraps it as a
+// replication primary. The returned set is the one to mutate and close
+// (closing it ends replication); the primary hands its WAL to followers
+// wired up with PairReplica or ServeReplication.
+func OpenPrimary(dir string, shards int, opts *ShardedSetOptions) (*ShardedSet, *ReplPrimary, error) {
+	var o ShardedSetOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.Dir = dir
+	s, st, err := persist.OpenSharded(shards, &o)
+	if err != nil {
+		return nil, nil, err
+	}
+	pr, err := repl.NewPrimary(s, st)
+	if err != nil {
+		s.Close()
+		return nil, nil, err
+	}
+	return s, pr, nil
+}
+
+// OpenFollower builds an in-memory read-only follower with the primary's
+// geometry: shards, opts.Partition, opts.KeyBits, and (for range
+// partitions) the same seed Bounds/BoundsGen must match the primary's —
+// links verify and reject mismatches. Later boundary moves replicate
+// automatically. opts may be nil for a hash-partitioned primary's
+// defaults.
+func OpenFollower(shards int, opts *ShardedSetOptions) *ReplFollower {
+	return repl.NewFollower(shards, opts)
+}
+
+// PairReplica attaches a follower to a primary in the same process and
+// starts shipping: catch-up (bootstrapping from the checkpoint chain when
+// needed), then tailing until Close.
+func PairReplica(pr *ReplPrimary, f *ReplFollower, opts *ReplOptions) (*ReplLink, error) {
+	return repl.Pair(pr, f, opts)
+}
+
+// ServeReplication accepts follower connections on ln and ships to each;
+// it blocks until the listener closes. DialPrimary is the client side.
+func ServeReplication(ln net.Listener, pr *ReplPrimary, opts *ReplOptions) error {
+	return repl.Serve(ln, pr, opts)
+}
+
+// DialPrimary connects a follower to a serving primary and replays its
+// stream until the connection closes or fails; reconnecting resumes from
+// the follower's positions.
+func DialPrimary(addr string, f *ReplFollower) (*ReplConn, error) {
+	return repl.Dial(addr, f)
 }
 
 // PMA is the uncompressed batch-parallel Packed Memory Array.
