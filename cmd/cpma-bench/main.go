@@ -79,6 +79,7 @@ import (
 
 	"repro/internal/cachesim"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/stats"
 )
@@ -104,8 +105,28 @@ func main() {
 	hotKeysN := flag.Int("hotkeys", 4, "distinct hot keys in the hot-key sweep's hot-spot workload")
 	hotJSON := flag.String("hotjson", "BENCH_hotkey.json", "output file for the hotkey experiment's JSON rows")
 	replJSON := flag.String("repljson", "BENCH_repl.json", "output file for the repl experiment's JSON rows")
+	obsJSON := flag.String("obsjson", "BENCH_obs.json", "output file for the percentile rows of the shards/hotkey/persist experiments (empty disables)")
+	obsAddr := flag.String("obs", "", "serve live observability (/metrics /statz /tracez /debug/pprof) on this address while experiments run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	flag.Parse()
+
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics /statz /tracez /debug/pprof on %s\n", srv.Addr())
+		// Each measurement set a sweep builds gets a fresh registry swapped
+		// into the live server, so /metrics always reflects the current run.
+		experiments.ObserveSet = func(label string, s *shard.Sharded) {
+			r := obs.NewRegistry(label)
+			s.RegisterMetrics(r, "cpma")
+			srv.SetRegistry(r)
+			srv.AddTrace("current", s.Trace())
+		}
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -150,6 +171,9 @@ func main() {
 	all := run["all"]
 	out := os.Stdout
 	fmt.Fprintf(out, "cpma-bench: n=%d k=%d GOMAXPROCS=%d\n\n", *n, *k, runtime.GOMAXPROCS(0))
+
+	// Percentile rows accumulated across experiments for -obsjson.
+	var obsRows []experiments.ObsRow
 
 	// The fig1/fig2 comparison tables carry the sharded front-end flavors
 	// alongside the paper's five single-writer systems.
@@ -270,12 +294,22 @@ func main() {
 		arows := experiments.ShardAsyncIngest(cfg, *shards, *clients, depthList, *asyncBatch, part)
 		fmt.Fprintf(out, "Async ingest pipeline (%s partition): %d shards, client batch %d, clients x mailbox depth\n",
 			*partition, *shards, *asyncBatch)
-		at := stats.NewTable("clients", "depth", "sync TP", "async TP", "async/sync", "sub-batch", "applied", "coalesce")
+		at := stats.NewTable("clients", "depth", "sync TP", "async TP", "async/sync", "sub-batch", "applied", "coalesce", "p50 ms", "p99 ms")
 		for _, r := range arows {
 			at.Row(r.Clients, r.Depth,
 				stats.Sci(r.SyncTP), stats.Sci(r.AsyncTP), stats.Ratio(r.AsyncTP, r.SyncTP),
 				fmt.Sprintf("%.0f", r.MeanSubBatch), fmt.Sprintf("%.0f", r.MeanApplied),
-				stats.Ratio(r.MeanApplied, r.MeanSubBatch))
+				stats.Ratio(r.MeanApplied, r.MeanSubBatch),
+				fmt.Sprintf("%.3f", r.P50ms), fmt.Sprintf("%.3f", r.P99ms))
+			obsRows = append(obsRows, experiments.ObsRow{
+				Experiment: "async-ingest",
+				Label:      fmt.Sprintf("clients=%d depth=%d", r.Clients, r.Depth),
+				Metric:     "mailbox_residency_ns",
+				OpsPerSec:  r.AsyncTP,
+				P50ms:      r.P50ms,
+				P99ms:      r.P99ms,
+				Samples:    r.LatSamples,
+			})
 		}
 		at.Write(out)
 		fmt.Fprintln(out)
@@ -286,7 +320,8 @@ func main() {
 		if *hotFrac > 0 {
 			// Embedded form: print the sweep, no gate (the standalone
 			// hotkey experiment enforces the acceptance bound).
-			runHotKeySweep(out, cfg, *shards, *clients, *asyncBatch, *hotKeysN, []float64{*hotFrac}, "")
+			hrows, _, _ := runHotKeySweep(out, cfg, *shards, *clients, *asyncBatch, *hotKeysN, []float64{*hotFrac}, "")
+			obsRows = append(obsRows, hotKeyObsRows(hrows)...)
 		}
 
 		srows := experiments.ShardSnapshotScan(cfg, *shards, *clients, scannerList, *asyncBatch, part)
@@ -315,7 +350,8 @@ func main() {
 		if *hotFrac > 0 {
 			fracs = []float64{*hotFrac}
 		}
-		speedup, verified := runHotKeySweep(out, cfg, *shards, *clients, *asyncBatch, *hotKeysN, fracs, *hotJSON)
+		hrows, speedup, verified := runHotKeySweep(out, cfg, *shards, *clients, *asyncBatch, *hotKeysN, fracs, *hotJSON)
+		obsRows = append(obsRows, hotKeyObsRows(hrows)...)
 		thr := 2.0
 		if cfg.TotalK >= 1_000_000 {
 			thr = 5.0
@@ -350,6 +386,14 @@ func main() {
 		t.Row("ingest", stats.Sci(float64(r.Keys)), "-",
 			fmt.Sprintf("%.2e keys/s, %.1f MB WAL, %d fsyncs, %d ckpts (%.1f MB)",
 				r.IngestTP, r.WalMB, r.Fsyncs, r.Ckpts, r.CkptMB))
+		t.Row("wal stalls", "-", "-",
+			fmt.Sprintf("append p50/p99 %.3f/%.3f ms, fsync p50/p99 %.3f/%.3f ms",
+				r.AppendP50ms, r.AppendP99ms, r.FsyncP50ms, r.FsyncP99ms))
+		obsRows = append(obsRows,
+			experiments.ObsRow{Experiment: "persist", Label: "wal-append", Metric: "wal_append_ns",
+				OpsPerSec: r.IngestTP, P50ms: r.AppendP50ms, P99ms: r.AppendP99ms, Samples: r.AppendSamples},
+			experiments.ObsRow{Experiment: "persist", Label: "wal-fsync", Metric: "wal_fsync_ns",
+				OpsPerSec: r.IngestTP, P50ms: r.FsyncP50ms, P99ms: r.FsyncP99ms, Samples: r.FsyncSamples})
 		t.Row("clean reopen", stats.Sci(float64(r.CleanLen)), fmt.Sprintf("%v", r.CleanOK), "exact state restored")
 		t.Row("torn reopen", stats.Sci(float64(r.TornLen)), fmt.Sprintf("%v", r.TornOK),
 			fmt.Sprintf("cut %d B off one WAL, replayed %d batches, discarded %d torn B",
@@ -385,6 +429,45 @@ func main() {
 		t.Write(out)
 		fmt.Fprintln(out)
 	}
+
+	if *obsJSON != "" && len(obsRows) > 0 {
+		blob, err := json.MarshalIndent(struct {
+			Shards  int                  `json:"shards"`
+			Clients int                  `json:"clients"`
+			TotalK  int                  `json:"total_keys"`
+			Note    string               `json:"note"`
+			Rows    []experiments.ObsRow `json:"rows"`
+		}{*shards, *clients, *k,
+			"p50/p99 are obs-histogram quantiles of each experiment's dominant stage latency over its timed phase; buckets are power-of-two wide, so values are bucket-interpolated",
+			obsRows}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			fail(1)
+		}
+		if err := os.WriteFile(*obsJSON, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			fail(1)
+		}
+		fmt.Fprintf(out, "obs: wrote %s (%d percentile rows)\n", *obsJSON, len(obsRows))
+	}
+}
+
+// hotKeyObsRows distills a hot-key sweep into percentile rows for
+// -obsjson: one row per (workload, absorber) pair.
+func hotKeyObsRows(rows []experiments.HotKeyRow) []experiments.ObsRow {
+	var out []experiments.ObsRow
+	for _, r := range rows {
+		label := fmt.Sprintf("%s frac=%.2f absorb=%v", r.Workload, r.HotFrac, r.Absorb)
+		out = append(out, experiments.ObsRow{
+			Experiment: "hotkey",
+			Label:      label,
+			Metric:     "mailbox_residency_ns",
+			OpsPerSec:  r.IngestTP,
+			P50ms:      r.P50ms,
+			P99ms:      r.P99ms,
+		})
+	}
+	return out
 }
 
 // runCloneCost runs the publish/checkpoint cost sweep at n/10 and n keys
@@ -555,12 +638,12 @@ func runRebalanceSweep(out *os.File, cfg experiments.MicroConfig, shards, client
 // jsonPath (skipped when empty — the -shards embedded form), and returns
 // the power-law row pair's on/off throughput ratio plus whether every row
 // passed its exact differential verification.
-func runHotKeySweep(out *os.File, cfg experiments.MicroConfig, shards, clients, batchSize, hotKeys int, hotFracs []float64, jsonPath string) (speedup float64, verified bool) {
+func runHotKeySweep(out *os.File, cfg experiments.MicroConfig, shards, clients, batchSize, hotKeys int, hotFracs []float64, jsonPath string) (rows []experiments.HotKeyRow, speedup float64, verified bool) {
 	const s = 2.5
-	rows := experiments.ShardHotKeySweep(cfg, shards, clients, batchSize, hotKeys, s, hotFracs)
+	rows = experiments.ShardHotKeySweep(cfg, shards, clients, batchSize, hotKeys, s, hotFracs)
 	fmt.Fprintf(out, "Hot-key absorption sweep (hash partition, %d shards, %d clients): power-law s=%.1f unscrambled + hot-spot mixes, absorber off vs on\n",
 		shards, clients, s)
-	t := stats.NewTable("workload", "hot frac", "absorb", "ingest TP", "TP gain", "absorbed", "promos", "demos", "final n", "verified")
+	t := stats.NewTable("workload", "hot frac", "absorb", "ingest TP", "TP gain", "absorbed", "promos", "demos", "final n", "verified", "p50 ms", "p99 ms")
 	verified = true
 	var offTP float64
 	for _, r := range rows {
@@ -581,7 +664,8 @@ func runHotKeySweep(out *os.File, cfg experiments.MicroConfig, shards, clients, 
 			stats.Sci(r.IngestTP), gain,
 			fmt.Sprintf("%.0f%%", 100*r.AbsorbedFrac),
 			r.Promotions, r.Demotions,
-			stats.Sci(float64(r.FinalKeys)), fmt.Sprintf("%v", r.Verified))
+			stats.Sci(float64(r.FinalKeys)), fmt.Sprintf("%v", r.Verified),
+			fmt.Sprintf("%.3f", r.P50ms), fmt.Sprintf("%.3f", r.P99ms))
 	}
 	t.Write(out)
 	fmt.Fprintln(out)
@@ -596,15 +680,15 @@ func runHotKeySweep(out *os.File, cfg experiments.MicroConfig, shards, clients, 
 		}{shards, clients, cfg.TotalK, s, rows}, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hotkey sweep: %v\n", err)
-			return speedup, false
+			return rows, speedup, false
 		}
 		if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "hotkey sweep: %v\n", err)
-			return speedup, false
+			return rows, speedup, false
 		}
 		fmt.Fprintf(out, "hotkey: wrote %s\n\n", jsonPath)
 	}
-	return speedup, verified
+	return rows, speedup, verified
 }
 
 // profiling notes whether a -cpuprofile run is active so fail can flush

@@ -58,10 +58,12 @@ func main() {
 	dir := flag.String("dir", "", "durable store directory: the server recovers its state from here on boot and survives restarts (empty = in-memory only)")
 	listen := flag.String("listen", "", "serve WAL replication to followers on this address (requires -dir)")
 	follow := flag.String("follow", "", "run as a read-only follower of the primary at this address (use the primary's -shards)")
+	obsAddr := flag.String("obs", "", "serve observability (/metrics /statz /tracez /debug/pprof) on this address")
+	obsHold := flag.Duration("obshold", 0, "keep serving -obs for this long after the workload finishes (e.g. 30s), so the final state can be scraped")
 	flag.Parse()
 
 	if *follow != "" {
-		runFollower(*follow, *shards, *readers, *analysts)
+		runFollower(*follow, *shards, *readers, *analysts, *obsAddr)
 		return
 	}
 
@@ -110,6 +112,25 @@ func main() {
 		})
 	}
 	defer s.Close()
+
+	// Opt-in observability: the set's full metric surface (and the
+	// primary's shipping counters when replicating) behind one HTTP
+	// endpoint. Scrapes never block the pipeline, so curl away mid-run.
+	var msrv *repro.MetricsServer
+	if *obsAddr != "" {
+		m := repro.NewMetrics("shardserver")
+		repro.Observe(s, m, "cpma")
+		if pr != nil {
+			pr.RegisterMetrics(m, "cpma_repl")
+		}
+		var err error
+		if msrv, err = repro.ServeMetrics(*obsAddr, m); err != nil {
+			fmt.Fprintln(os.Stderr, "obs:", err)
+			os.Exit(1)
+		}
+		msrv.AddTrace("pipeline", s.Trace())
+		fmt.Printf("observability on http://%s (/metrics /statz /tracez /debug/pprof/)\n", msrv.Addr())
+	}
 
 	// Writers: each client streams its own uniform batches into the
 	// mailboxes and moves on immediately; roughly one in eight batches is
@@ -236,13 +257,23 @@ func main() {
 		_, cnt := final.RangeSum(lo, lo+(hi-lo)/1000)
 		fmt.Printf("keys span [%d, %d]; first 0.1%% of the span holds %d keys\n", lo, hi, cnt)
 	}
+
+	// Hold the observability endpoint open if asked, so the finished run's
+	// totals (and pprof) can still be scraped; then shut it down.
+	if msrv != nil {
+		if *obsHold > 0 {
+			fmt.Printf("holding observability endpoint for %s\n", *obsHold)
+			time.Sleep(*obsHold)
+		}
+		msrv.Close()
+	}
 }
 
 // runFollower is the -follow mode: a read-only replica that dials the
 // primary, bootstraps from its checkpoint chain, replays the live record
 // stream, and serves point lookups and snapshot scans until the primary
 // goes away (client mutations on the replica panic by contract).
-func runFollower(addr string, shards, readers, analysts int) {
+func runFollower(addr string, shards, readers, analysts int, obsAddr string) {
 	f := repro.OpenFollower(shards, nil)
 	c, err := repro.DialPrimary(addr, f)
 	if err != nil {
@@ -251,6 +282,20 @@ func runFollower(addr string, shards, readers, analysts int) {
 	}
 	fmt.Printf("following %s with %d shards\n", addr, shards)
 	set := f.Set()
+
+	if obsAddr != "" {
+		m := repro.NewMetrics("shardserver-follower")
+		repro.Observe(set, m, "cpma")
+		f.RegisterMetrics(m, "cpma_follower")
+		msrv, err := repro.ServeMetrics(obsAddr, m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obs:", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		msrv.AddTrace("replica", set.Trace())
+		fmt.Printf("observability on http://%s\n", msrv.Addr())
+	}
 
 	var lookups, scans atomic.Int64
 	var done atomic.Bool

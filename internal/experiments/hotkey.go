@@ -35,7 +35,9 @@ type HotKeyRow struct {
 	Demotions    uint64
 	Reconciles   uint64
 	FinalKeys    int
-	Verified     bool // exact differential check against the model
+	Verified     bool    // exact differential check against the model
+	P50ms        float64 `json:"p50_ms"` // median mailbox residency over the timed phase, ms
+	P99ms        float64 `json:"p99_ms"` // p99 mailbox residency, ms
 }
 
 // hotKeyWorkload is one pre-generated workload the sweep runs twice
@@ -135,6 +137,11 @@ func ShardHotKeySweep(cfg MicroConfig, shards, clients, batchSize, hotKeys int, 
 				}
 			}
 			set := shard.New(shards, opt)
+			label := w.name
+			if absorb {
+				label += " absorb"
+			}
+			observeSet("hotkey "+label, set)
 			run := func(phase func(batches [][]uint64) [][]uint64) {
 				var wg sync.WaitGroup
 				for c := 0; c < clients; c++ {
@@ -176,6 +183,7 @@ func ShardHotKeySweep(cfg MicroConfig, shards, clients, batchSize, hotKeys int, 
 				}
 			}
 			var tp float64
+			lat0 := set.PipelineLatencies()
 			for tr := 0; tr < trials; tr++ {
 				d := stats.Time(func() {
 					for rep := 0; rep < reps; rep++ {
@@ -186,6 +194,7 @@ func ShardHotKeySweep(cfg MicroConfig, shards, clients, batchSize, hotKeys int, 
 					tp = t
 				}
 			}
+			p50, p99, _ := residencyObs(set.PipelineLatencies().Sub(lat0).Residency)
 			ist := set.IngestStats()
 			verified := set.Len() == len(want) && slices.Equal(set.Keys(), want) &&
 				ist.AppliedKeys+ist.AbsorbedKeys == ist.EnqueuedKeys &&
@@ -208,6 +217,8 @@ func ShardHotKeySweep(cfg MicroConfig, shards, clients, batchSize, hotKeys int, 
 				Reconciles:   ist.ReconcileBatches,
 				FinalKeys:    set.Len(),
 				Verified:     verified,
+				P50ms:        p50,
+				P99ms:        p99,
 			})
 			set.Close()
 		}

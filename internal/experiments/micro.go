@@ -514,6 +514,9 @@ type AsyncIngestRow struct {
 	AsyncTP      float64 // InsertBatchAsync + final Flush inserts / second
 	MeanSubBatch float64 // mean keys per enqueued sub-batch
 	MeanApplied  float64 // mean keys per merged apply (coalescing win)
+	P50ms        float64 // median mailbox residency (enqueue -> applied), ms
+	P99ms        float64 // p99 mailbox residency, ms
+	LatSamples   uint64  // residency samples behind the percentiles
 }
 
 // ShardAsyncIngest sweeps the asynchronous ingest pipeline over client
@@ -571,14 +574,18 @@ func ShardAsyncIngest(cfg MicroConfig, shards, maxClients int, depths []int, bat
 			opt.Async = true
 			opt.MailboxDepth = depth
 			s := shard.New(shards, opt)
+			observeSet(fmt.Sprintf("async-ingest c%d d%d", clients, depth), s)
 			s.InsertBatch(base, false)
 			before := s.IngestStats()
+			lat0 := s.PipelineLatencies()
 			d := stats.Time(func() {
 				runClients(func(_ int, b []uint64) { s.InsertBatchAsync(b, false) })
 				s.Flush() // the measured phase ends only once everything applied
 			})
 			st := s.IngestStats().Sub(before)
+			res := s.PipelineLatencies().Sub(lat0).Residency
 			s.Close()
+			p50, p99, n := residencyObs(res)
 			rows = append(rows, AsyncIngestRow{
 				Clients:      clients,
 				Depth:        depth,
@@ -586,6 +593,9 @@ func ShardAsyncIngest(cfg MicroConfig, shards, maxClients int, depths []int, bat
 				AsyncTP:      stats.Throughput(total, d),
 				MeanSubBatch: st.MeanEnqueuedBatch(),
 				MeanApplied:  st.MeanAppliedBatch(),
+				P50ms:        p50,
+				P99ms:        p99,
+				LatSamples:   n,
 			})
 		}
 	}

@@ -1,0 +1,46 @@
+package experiments
+
+// Observability hooks for the sweeps. The bench harness (cmd/cpma-bench
+// -obs) installs ObserveSet so each measurement set it builds is
+// registered into a live obs.Server as its run starts; the sweeps
+// themselves stay dependency-free when no one is watching. ObsRow is the
+// percentile row the harness accumulates into BENCH_obs.json.
+
+import (
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// ObserveSet, when non-nil, is called with every async measurement set a
+// sweep constructs, before its workload runs. Installed by cmd/cpma-bench
+// when -obs is set; the callback typically builds a fresh registry for
+// the set and swaps it into a live obs.Server.
+var ObserveSet func(label string, s *shard.Sharded)
+
+func observeSet(label string, s *shard.Sharded) {
+	if ObserveSet != nil {
+		ObserveSet(label, s)
+	}
+}
+
+// ObsRow is one percentile measurement: an experiment's ops/s alongside
+// the p50/p99 of its dominant stage latency, as captured by the obs
+// histograms during the timed phase.
+type ObsRow struct {
+	Experiment string  `json:"experiment"`
+	Label      string  `json:"label"`
+	Metric     string  `json:"latency_metric"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50ms      float64 `json:"p50_ms"`
+	P99ms      float64 `json:"p99_ms"`
+	Samples    uint64  `json:"samples"`
+}
+
+// ms converts a nanosecond quantile to milliseconds.
+func ms(ns float64) float64 { return ns / 1e6 }
+
+// residencyObs distills a mailbox-residency delta into the (p50, p99, n)
+// triple the percentile columns report.
+func residencyObs(h obs.HistSnap) (p50, p99 float64, n uint64) {
+	return ms(h.P50()), ms(h.P99()), h.Count
+}

@@ -34,6 +34,15 @@ type PersistResult struct {
 	TornOK    bool   // torn recovery is a valid subset
 	Replayed  uint64 // WAL batches replayed by the torn recovery
 	TornBytes uint64 // bytes the torn recovery discarded
+
+	// WAL stall percentiles over the ingest phase, milliseconds, with the
+	// histogram sample counts behind them.
+	AppendP50ms   float64
+	AppendP99ms   float64
+	AppendSamples uint64
+	FsyncP50ms    float64
+	FsyncP99ms    float64
+	FsyncSamples  uint64
 }
 
 // PersistSmoke runs the ingest → kill → recover → verify cycle in dir
@@ -49,10 +58,11 @@ func PersistSmoke(cfg MicroConfig, shards, clients, batchSize int, part shard.Pa
 		s, _, err := persist.OpenSharded(shards, opt)
 		return s, err
 	}
-	s, err := open()
+	s, store, err := persist.OpenSharded(shards, opt)
 	if err != nil {
 		return res, err
 	}
+	observeSet("persist ingest", s)
 
 	keys := workload.Uniform(workload.NewRNG(cfg.Seed), cfg.TotalK, workload.UniformBits)
 	start := time.Now()
@@ -76,6 +86,13 @@ func PersistSmoke(cfg MicroConfig, shards, clients, batchSize int, part shard.Pa
 	res.Fsyncs = st.Fsyncs
 	res.Ckpts = st.Checkpoints
 	res.CkptMB = float64(st.CheckpointBytes) / (1 << 20)
+	lat := store.Latencies()
+	res.AppendP50ms = ms(lat.Append.P50())
+	res.AppendP99ms = ms(lat.Append.P99())
+	res.AppendSamples = lat.Append.Count
+	res.FsyncP50ms = ms(lat.Fsync.P50())
+	res.FsyncP99ms = ms(lat.Fsync.P99())
+	res.FsyncSamples = lat.Fsync.Count
 	s.Close()
 
 	// Clean restart: must be byte-for-byte the acknowledged state.

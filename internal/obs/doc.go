@@ -1,0 +1,96 @@
+// Package obs is the zero-dependency observability layer: atomic
+// counters and gauges, lock-free log-bucketed latency histograms, a
+// fixed-size event-trace ring, and an opt-in HTTP server that exposes
+// all of it as Prometheus text (/metrics), JSON (/statz), a trace dump
+// (/tracez), and net/http/pprof.
+//
+// Everything is built on sync/atomic: recording a histogram sample is
+// three atomic adds, scraping never takes a lock and never blocks a
+// writer, and histograms snapshot/merge/subtract so callers can take
+// percentiles over a window (snap, run, snap, Sub). Buckets are
+// powers of two (bucketOf(v) = bits.Len64(v)), so quantiles are
+// interpolated within a 2x bucket — coarse in absolute terms, exact
+// enough to tell a 100µs stall from a 10ms one.
+//
+// # Metrics catalog
+//
+// Pipeline histograms, registered by Sharded.RegisterMetrics under a
+// prefix (default "cpma"); each is aggregated across shards and
+// recorded at the site named:
+//
+//	{p}_mailbox_residency_ns  ns    enqueue→applied residency of one async
+//	                                sub-batch; stamped at enqueue, recorded at
+//	                                the end of the writer drain that applied it
+//	{p}_drain_ns              ns    one writer drain end to end: coalesce, WAL
+//	                                append, apply, reconcile, publish (drains
+//	                                parked by a quiesce token are not recorded)
+//	{p}_coalesce_keys         keys  keys merged into one drain (width of the
+//	                                batch the writer actually applied)
+//	{p}_publish_ns            ns    one copy-on-write publication (leaf-COW
+//	                                Clone + snapshot handle swap)
+//	{p}_reconcile_ns          ns    one hot-key reconcile pass that had dirty
+//	                                absorbed state to fold in
+//	{p}_quiesce_ns            ns    rebalance pair park: quiesce tokens sent →
+//	                                both writers at rest
+//	{p}_move_ns               ns    one whole rebalance boundary move, quiesce
+//	                                through unpark
+//	{p}_snapshot_capture_ns   ns    one Snapshot() capture
+//	{p}_checkpoint_ns         ns    one Sharded.Checkpoint() barrier: flush +
+//	                                journal checkpoint
+//
+// Durable-store histograms, registered by the persist.Store under
+// {p}_wal:
+//
+//	{p}_wal_append_ns      ns  whole WAL append call — lock wait + buffered
+//	                           write + group-commit fsync when this append
+//	                           triggered one (the stall a writer sees)
+//	{p}_wal_fsync_ns       ns  the fsync alone, recorded inside syncLocked
+//	{p}_wal_checkpoint_ns  ns  one per-shard checkpoint pass that wrote a
+//	                           base or delta (skipped passes not recorded)
+//
+// Replication histograms, registered by repl.Primary (default prefix
+// "repl") and repl.Follower (default "follower"):
+//
+//	{p}_ship_ns       ns  one record shipment; for in-process links the
+//	                      send delivers through apply synchronously
+//	{p}_bootstrap_ns  ns  one full bootstrap state transfer
+//	{p}_apply_ns      ns  one replay batch applied to the replica set
+//	                      (batches that applied zero records not recorded)
+//
+// Counter/gauge families expanded at scrape time from the legacy
+// *Stats structs via Registry.Stats (uint64 fields become counters,
+// int fields gauges, CamelCase→snake_case): {p}_ingest_* from
+// IngestStats, {p}_snapshot_* from SnapshotStats, {p}_rebalance_*
+// from RebalanceStats, {p}_persist_* from PersistStats when the set is
+// durable, plus the repl/follower stats under their prefixes.
+//
+// # Stage latency map
+//
+// Where each histogram sits on the ingest path:
+//
+//	client InsertBatchAsync
+//	   │ scatter ── hot-key absorb (absorbed keys skip the mailbox)
+//	   ▼
+//	mailbox ══ residency_ns ══╗
+//	   │ writer wakes         ║
+//	   ▼                      ║
+//	coalesce (coalesce_keys)  ║
+//	   │                      ║
+//	WAL append ── wal_append_ns ──▶ fsync (wal_fsync_ns)
+//	   │                      ║
+//	apply → reconcile (reconcile_ns)
+//	   │                      ║
+//	publish COW clone (publish_ns) ◀══ drain_ns covers coalesce→publish
+//	   ▼
+//	checkpoint (checkpoint_ns, wal_checkpoint_ns)   ship (ship_ns) → apply (apply_ns)
+//
+// # Trace ring
+//
+// Trace keeps one fixed-depth ring per shard plus a global ring;
+// Record is lock-free in the common case (a mutex per ring guards only
+// the slot write). Events carry a timestamp, shard, kind (drain,
+// publish, checkpoint, promote, demote, move, ship, bootstrap, apply),
+// the shard's epoch and snapshot generation, and two free operands.
+// The ring overwrites oldest-first, so /tracez is always "the last N
+// things each shard did", never a growing log.
+package obs

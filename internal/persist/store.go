@@ -8,8 +8,10 @@ import (
 	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/cpma"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/shard"
 )
@@ -54,6 +56,14 @@ type Store struct {
 	truncSegs  atomic.Uint64
 	moveRecs   atomic.Uint64
 	movedKeys  atomic.Uint64
+
+	// Latency histograms, aggregated across shards. walAppend times the
+	// whole append call — lock wait included, so it reads as the stall a
+	// shard writer sees, not just the file write. walFsync times seg.sync
+	// alone; ckptDur one shard's checkpoint pass when it wrote something.
+	walAppend obs.Histogram
+	walFsync  obs.Histogram
+	ckptDur   obs.Histogram
 
 	// The recovered boundary table (nil = default equal-width spans) and
 	// its router generation. Written once by Open; Rebalanced advances the
@@ -330,6 +340,7 @@ func (st *Store) appendKind(p int, kind byte, gen uint64, keys []uint64) (uint64
 	if st.closed.Load() {
 		return 0, st.fail(fmt.Errorf("persist: append on closed store"))
 	}
+	t0 := time.Now()
 	sh := st.shards[p]
 	sh.mu.Lock()
 	seq := sh.seq.Load() + 1
@@ -350,6 +361,7 @@ func (st *Store) appendKind(p int, kind byte, gen uint64, keys []uint64) (uint64
 		}
 	}
 	sh.mu.Unlock()
+	st.walAppend.Since(t0)
 	st.appBytes.Add(uint64(frameLen))
 	return seq, nil
 }
@@ -422,9 +434,11 @@ func (st *Store) syncLocked(sh *storeShard) error {
 	if sh.pendingRecs == 0 && sh.pendingBytes == 0 {
 		return nil
 	}
+	t0 := time.Now()
 	if err := sh.seg.sync(); err != nil {
 		return err
 	}
+	st.walFsync.Since(t0)
 	sh.pendingRecs = 0
 	sh.pendingBytes = 0
 	sh.syncedSeq = sh.seq.Load()
@@ -516,6 +530,45 @@ func (st *Store) Stats() shard.PersistStats {
 	}
 }
 
+// StoreLatencies is a snapshot of the store's latency histograms, all in
+// nanoseconds.
+type StoreLatencies struct {
+	Append     obs.HistSnap // whole Append call, lock wait included
+	Fsync      obs.HistSnap // seg.sync alone (group-commit and barrier syncs)
+	Checkpoint obs.HistSnap // per-shard checkpoint passes that wrote a file
+}
+
+// Latencies snapshots the store's latency histograms.
+func (st *Store) Latencies() StoreLatencies {
+	return StoreLatencies{
+		Append:     st.walAppend.Snapshot(),
+		Fsync:      st.walFsync.Snapshot(),
+		Checkpoint: st.ckptDur.Snapshot(),
+	}
+}
+
+// Sub returns the latencies accumulated since prev.
+func (l StoreLatencies) Sub(prev StoreLatencies) StoreLatencies {
+	return StoreLatencies{
+		Append:     l.Append.Sub(prev.Append),
+		Fsync:      l.Fsync.Sub(prev.Fsync),
+		Checkpoint: l.Checkpoint.Sub(prev.Checkpoint),
+	}
+}
+
+// RegisterMetrics registers the store's latency histograms with r under
+// prefix (e.g. "cpma_wal"). Sharded.RegisterMetrics calls this through an
+// optional interface when the set's Journal is a *Store, so the WAL's
+// stall profile lands in the same registry as the pipeline's.
+func (st *Store) RegisterMetrics(r *obs.Registry, prefix string) {
+	if prefix == "" {
+		prefix = "wal"
+	}
+	r.RegisterHistogram(prefix+"_append_ns", "ns", "WAL append call latency (lock wait + buffered write + group-commit fsync when triggered)", &st.walAppend)
+	r.RegisterHistogram(prefix+"_fsync_ns", "ns", "WAL fsync latency", &st.walFsync)
+	r.RegisterHistogram(prefix+"_checkpoint_ns", "ns", "per-shard checkpoint pass duration (passes that wrote a base or delta)", &st.ckptDur)
+}
+
 // Checkpoint writes a slab checkpoint for every shard whose published
 // state has advanced past its last checkpoint, then truncates obsolete
 // WAL segments (shard.Journal). Callers wanting "everything enqueued so
@@ -553,6 +606,16 @@ func (st *Store) Checkpoint() error {
 // corrupt file in the live chain still leaves the previous base — and
 // the WAL tail above it — available for fallback.
 func (st *Store) checkpointShard(sh *storeShard, minAdvance uint64) error {
+	// Time the pass, but only record it when a checkpoint file was
+	// actually written — skipped passes (nothing published, no advance)
+	// would otherwise flood the histogram with near-zero samples.
+	t0 := time.Now()
+	wrote0 := st.ckpts.Load() + st.deltaCkpts.Load()
+	defer func() {
+		if st.ckpts.Load()+st.deltaCkpts.Load() != wrote0 {
+			st.ckptDur.Since(t0)
+		}
+	}()
 	// Capture-and-swap the published handle and its accumulated dirty
 	// window under one lock acquisition: dirt reported after this point
 	// belongs to the next checkpoint, dirt captured here is consumed by

@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"repro/internal/cpma"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/shard"
 )
@@ -102,6 +103,12 @@ type Primary struct {
 	bootstraps  atomic.Uint64
 	boundsShips atomic.Uint64
 
+	// shipDur times one record shipment end to end — for in-process links
+	// that includes the follower's apply, for socket links the frame write.
+	// bootDur times bootstrap state transfers.
+	shipDur obs.Histogram
+	bootDur obs.Histogram
+
 	mu    sync.Mutex
 	links map[*cursor]struct{}
 }
@@ -140,6 +147,33 @@ type ReplStats struct {
 	Bootstraps     uint64
 	BoundsUpdates  uint64
 	LagRecords     uint64
+}
+
+// Sub returns the counters accumulated since prev. Links and LagRecords
+// are instantaneous gauges, not monotonic counters, and are carried.
+func (s ReplStats) Sub(prev ReplStats) ReplStats {
+	return ReplStats{
+		Links:          s.Links,
+		ShippedRecords: s.ShippedRecords - prev.ShippedRecords,
+		ShippedKeys:    s.ShippedKeys - prev.ShippedKeys,
+		Bootstraps:     s.Bootstraps - prev.Bootstraps,
+		BoundsUpdates:  s.BoundsUpdates - prev.BoundsUpdates,
+		LagRecords:     s.LagRecords,
+	}
+}
+
+// ShipLatency snapshots the primary's per-shipment latency histogram.
+func (pr *Primary) ShipLatency() obs.HistSnap { return pr.shipDur.Snapshot() }
+
+// RegisterMetrics registers the primary's replication counters and
+// shipping latency histograms with r under prefix (e.g. "cpma_repl").
+func (pr *Primary) RegisterMetrics(r *obs.Registry, prefix string) {
+	if prefix == "" {
+		prefix = "repl"
+	}
+	r.RegisterHistogram(prefix+"_ship_ns", "ns", "one record shipment, send through apply for in-process links", &pr.shipDur)
+	r.RegisterHistogram(prefix+"_bootstrap_ns", "ns", "one bootstrap state transfer", &pr.bootDur)
+	r.Stats(prefix, "primary replication counters", func() any { return pr.ReplStats() })
 }
 
 // ReplStats returns the primary's replication counters.
@@ -256,19 +290,24 @@ func (pr *Primary) shipShard(cur *cursor, sk sink, p, maxKeys int) (bool, error)
 		if err != nil {
 			return false, err
 		}
+		t0 := time.Now()
 		if err := sk.sendBoot(p, tip, set); err != nil {
 			return false, err
 		}
+		pr.bootDur.Since(t0)
 		cur.set(p, tip)
 		pr.bootstraps.Add(1)
+		pr.set.Trace().Record(p, obs.EvBootstrap, 0, 0, tip, 0)
 		return true, nil
 	}
 	if len(recs) == 0 {
 		return false, nil
 	}
+	t0 := time.Now()
 	if err := sk.sendRecs(p, recs); err != nil {
 		return false, err
 	}
+	pr.shipDur.Since(t0)
 	cur.set(p, recs[len(recs)-1].Seq)
 	nk := 0
 	for _, r := range recs {
@@ -276,6 +315,7 @@ func (pr *Primary) shipShard(cur *cursor, sk sink, p, maxKeys int) (bool, error)
 	}
 	pr.shippedRecs.Add(uint64(len(recs)))
 	pr.shippedKeys.Add(uint64(nk))
+	pr.set.Trace().Record(p, obs.EvShip, 0, 0, uint64(len(recs)), uint64(nk))
 	return true, nil
 }
 
@@ -295,6 +335,9 @@ type Follower struct {
 	appliedRecs atomic.Uint64
 	appliedKeys atomic.Uint64
 	bootstraps  atomic.Uint64
+
+	// applyDur times one applyRecs replay batch (records actually applied).
+	applyDur obs.Histogram
 }
 
 // NewFollower builds a follower with the given geometry; opts carries the
@@ -343,6 +386,29 @@ type FollowerStats struct {
 	Attaches       uint64
 }
 
+// Sub returns the counters accumulated since prev.
+func (s FollowerStats) Sub(prev FollowerStats) FollowerStats {
+	return FollowerStats{
+		AppliedRecords: s.AppliedRecords - prev.AppliedRecords,
+		AppliedKeys:    s.AppliedKeys - prev.AppliedKeys,
+		Bootstraps:     s.Bootstraps - prev.Bootstraps,
+		Attaches:       s.Attaches - prev.Attaches,
+	}
+}
+
+// ApplyLatency snapshots the follower's replay-batch latency histogram.
+func (f *Follower) ApplyLatency() obs.HistSnap { return f.applyDur.Snapshot() }
+
+// RegisterMetrics registers the follower's replay counters and apply
+// latency histogram with r under prefix (e.g. "cpma_follower").
+func (f *Follower) RegisterMetrics(r *obs.Registry, prefix string) {
+	if prefix == "" {
+		prefix = "follower"
+	}
+	r.RegisterHistogram(prefix+"_apply_ns", "ns", "one replay batch applied to the replica set", &f.applyDur)
+	r.Stats(prefix, "follower replay counters", func() any { return f.Stats() })
+}
+
 // Stats returns the follower's replay counters.
 func (f *Follower) Stats() FollowerStats {
 	return FollowerStats{
@@ -378,9 +444,11 @@ func (f *Follower) applyBoot(p int, tip uint64, set *cpma.CPMA) {
 // continuity: already-applied records are skipped, a hole is a hard error
 // (the prefix invariant would silently break).
 func (f *Follower) applyRecs(p int, recs []persist.Rec) error {
+	t0 := time.Now()
 	f.mu.Lock()
 	cur := f.pos[p].Seq
 	f.mu.Unlock()
+	var applied, keys uint64
 	for _, r := range recs {
 		if r.Seq <= cur {
 			continue
@@ -390,12 +458,18 @@ func (f *Follower) applyRecs(p int, recs []persist.Rec) error {
 		}
 		f.set.ReplicaApply(p, r.Remove, r.Keys)
 		cur = r.Seq
-		f.appliedRecs.Add(1)
-		f.appliedKeys.Add(uint64(len(r.Keys)))
+		applied++
+		keys += uint64(len(r.Keys))
 	}
 	f.mu.Lock()
 	f.pos[p].Seq = cur
 	f.mu.Unlock()
+	if applied > 0 {
+		f.appliedRecs.Add(applied)
+		f.appliedKeys.Add(keys)
+		f.applyDur.Since(t0)
+		f.set.Trace().Record(p, obs.EvApply, 0, 0, applied, keys)
+	}
 	return nil
 }
 

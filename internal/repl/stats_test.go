@@ -1,0 +1,62 @@
+package repl
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestReplStatsSubFieldCompleteness extends the shard package's
+// Sub-completeness harness to the replication stats structs (they live
+// here because repl imports shard, not the reverse): every field must
+// flow through Sub, either as a delta or as a documented gauge carry.
+func TestReplStatsSubFieldCompleteness(t *testing.T) {
+	check := func(name string, st, prev, got reflect.Value, carried map[string]bool) {
+		t.Helper()
+		typ := st.Type()
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			var want, g uint64
+			switch f.Type.Kind() {
+			case reflect.Uint64:
+				want = st.Field(i).Uint() - prev.Field(i).Uint()
+				if carried[f.Name] {
+					want = st.Field(i).Uint()
+				}
+				g = got.Field(i).Uint()
+			case reflect.Int:
+				w := st.Field(i).Int() - prev.Field(i).Int()
+				if carried[f.Name] {
+					w = st.Field(i).Int()
+				}
+				want, g = uint64(w), uint64(got.Field(i).Int())
+			default:
+				t.Fatalf("%s.%s is %v; extend the reflection harness", name, f.Name, f.Type)
+			}
+			if g != want {
+				t.Fatalf("%s.Sub dropped field %s: got %d, want %d", name, f.Name, g, want)
+			}
+		}
+	}
+	fill := func(v reflect.Value, mul uint64) {
+		for i := 0; i < v.NumField(); i++ {
+			switch v.Field(i).Kind() {
+			case reflect.Uint64:
+				v.Field(i).SetUint(uint64(i+1) * mul)
+			case reflect.Int:
+				v.Field(i).SetInt(int64(uint64(i+1) * mul))
+			}
+		}
+	}
+
+	var rs, rprev ReplStats
+	fill(reflect.ValueOf(&rs).Elem(), 100)
+	fill(reflect.ValueOf(&rprev).Elem(), 1)
+	check("ReplStats", reflect.ValueOf(rs), reflect.ValueOf(rprev),
+		reflect.ValueOf(rs.Sub(rprev)), map[string]bool{"Links": true, "LagRecords": true})
+
+	var fs, fprev FollowerStats
+	fill(reflect.ValueOf(&fs).Elem(), 100)
+	fill(reflect.ValueOf(&fprev).Elem(), 1)
+	check("FollowerStats", reflect.ValueOf(fs), reflect.ValueOf(fprev),
+		reflect.ValueOf(fs.Sub(fprev)), nil)
+}

@@ -50,8 +50,10 @@ package shard
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/cpma"
+	"repro/internal/obs"
 )
 
 // Default absorber tuning: the detector evaluates every DefaultHotKeyEvery
@@ -383,6 +385,7 @@ func (s *Sharded) reconcileHot(p int, c *cell) {
 	if !dirty {
 		return
 	}
+	t0 := time.Now()
 	if j := s.opt.Journal; j != nil {
 		if len(ins) > 0 {
 			if err := j.Append(p, false, ins); err != nil {
@@ -415,6 +418,7 @@ func (s *Sharded) reconcileHot(p int, c *cell) {
 		c.epoch.Add(1)
 	}
 	c.mu.Unlock()
+	s.pm.reconcile.Since(t0)
 }
 
 // retuneHot is the writer's end-of-drain promotion/demotion pass. It runs
@@ -488,6 +492,12 @@ func (s *Sharded) retuneHot(p int, c *cell) {
 		s.rebuildHotIndex()
 		c.promos.Add(uint64(len(adds)))
 		c.demos.Add(uint64(demoted))
+		if len(adds) > 0 {
+			s.trace.Record(p, obs.EvPromote, c.epoch.Load(), 0, uint64(len(adds)), 0)
+		}
+		if demoted > 0 {
+			s.trace.Record(p, obs.EvDemote, c.epoch.Load(), 0, uint64(demoted), 0)
+		}
 	} else if ht != nil {
 		for _, sl := range ht.slots {
 			sl.hits = 0
@@ -517,13 +527,14 @@ func sortTable(t *hotTable) {
 // must not survive the move. Slots are clean — the quiesce token's publish
 // reconciled them — so dropping the table loses nothing; genuinely hot
 // keys re-promote within one detector window.
-func (s *Sharded) dropHotTables(c *cell) {
+func (s *Sharded) dropHotTables(p int, c *cell) {
 	if !s.opt.HotKeys {
 		return
 	}
 	if ht := c.hot.Load(); ht != nil {
 		c.hot.Store(nil)
 		c.demos.Add(uint64(len(ht.keys)))
+		s.trace.Record(p, obs.EvDemote, c.epoch.Load(), 0, uint64(len(ht.keys)), 0)
 	}
 	c.det.reset()
 	s.rebuildHotIndex()

@@ -14,7 +14,9 @@ package shard
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -53,6 +55,10 @@ type shardOp struct {
 	hot    []hotEntry
 	tk     *ticket
 	resume chan struct{}
+	// enq is the enqueue timestamp feeding the mailbox-residency
+	// histogram: one clock read per enqueue call covers every sub-op it
+	// mails. Zero for flush/quiesce tokens (they measure nothing).
+	enq time.Time
 }
 
 // ticket is a completion barrier shared by the per-shard sub-ops of one
@@ -220,6 +226,7 @@ func (s *Sharded) writer(p int) {
 				break drain
 			}
 		}
+		t0 := time.Now()
 		s.applyPending(p, c, &ws)
 		// Reconcile-before-publish: fold absorbed hot-key state into the
 		// CPMA so the handle published next is an exact FIFO prefix of the
@@ -242,6 +249,32 @@ func (s *Sharded) writer(p int) {
 		if j := s.opt.Journal; j != nil {
 			j.Published(p, sn.set)
 		}
+		// Two clock reads bound the whole drain; residency for each
+		// drained sub-batch derives from its enqueue stamp against the
+		// same end time. A drain that carried a quiesce token spent its
+		// time parked for a rebalance, not working — the pair park is
+		// measured by the rebalance quiesce/move histograms instead.
+		t1 := time.Now()
+		parked := false
+		for i := range ws.pending {
+			if ws.pending[i].kind == opQuiesce {
+				parked = true
+				break
+			}
+		}
+		if !parked {
+			s.pm.drain.Observe(t1.Sub(t0))
+			if n > 0 {
+				s.pm.coalesce.Record(uint64(n))
+			}
+			for i := range ws.pending {
+				op := &ws.pending[i]
+				if (op.kind == opInsert || op.kind == opRemove) && !op.enq.IsZero() {
+					s.pm.residency.Observe(t1.Sub(op.enq))
+				}
+			}
+		}
+		s.trace.Record(p, obs.EvDrain, sn.epoch, sn.gen, uint64(len(ws.pending)), uint64(n))
 		ws.release()
 		if closed {
 			return

@@ -1,0 +1,116 @@
+package shard
+
+// Pipeline observability: always-on aggregate latency histograms over the
+// ingest pipeline's stages plus a per-shard lifecycle event trace. The
+// recording discipline is one time.Now per drain (plus one per enqueue
+// call, amortized over the whole batch), never per key: enqueue stamps
+// each mailed sub-batch once, and the writer reads the clock twice per
+// drain to derive residency, drain duration, and coalesce width for
+// everything it just applied. Histograms are lock-free (three atomic adds
+// per Record) and live on the Sharded set itself, so they survive — and
+// stay readable after — Close.
+//
+// RegisterMetrics exposes everything through an obs.Registry; nothing is
+// exported anywhere until the caller opts in (obs.Serve).
+
+import (
+	"repro/internal/obs"
+)
+
+// pipeMetrics aggregates the pipeline histograms across all shards. All
+// durations are nanoseconds.
+type pipeMetrics struct {
+	residency  obs.Histogram // enqueue -> applied mailbox residency per sub-batch
+	drain      obs.Histogram // one writer drain: WAL append + apply + reconcile + publish
+	coalesce   obs.Histogram // keys merged into one drain (the coalescing win, as a distribution)
+	publish    obs.Histogram // one copy-on-write publication (cpma.Clone)
+	reconcile  obs.Histogram // one hot-key reconcile that folded dirty slots
+	quiesce    obs.Histogram // rebalance pair park: tokens sent -> both writers at rest
+	move       obs.Histogram // whole rebalance boundary move
+	capture    obs.Histogram // one Snapshot() capture
+	checkpoint obs.Histogram // one Checkpoint() barrier: flush + journal checkpoint
+}
+
+// PipelineLatencies is a frozen capture of the pipeline histograms —
+// plain values, safe to keep, subtract, and merge. Field names mirror
+// pipeMetrics; see RegisterMetrics for units and recording sites.
+type PipelineLatencies struct {
+	Residency  obs.HistSnap
+	Drain      obs.HistSnap
+	Coalesce   obs.HistSnap
+	Publish    obs.HistSnap
+	Reconcile  obs.HistSnap
+	Quiesce    obs.HistSnap
+	Move       obs.HistSnap
+	Capture    obs.HistSnap
+	Checkpoint obs.HistSnap
+}
+
+// PipelineLatencies captures the current pipeline histograms.
+func (s *Sharded) PipelineLatencies() PipelineLatencies {
+	return PipelineLatencies{
+		Residency:  s.pm.residency.Snapshot(),
+		Drain:      s.pm.drain.Snapshot(),
+		Coalesce:   s.pm.coalesce.Snapshot(),
+		Publish:    s.pm.publish.Snapshot(),
+		Reconcile:  s.pm.reconcile.Snapshot(),
+		Quiesce:    s.pm.quiesce.Snapshot(),
+		Move:       s.pm.move.Snapshot(),
+		Capture:    s.pm.capture.Snapshot(),
+		Checkpoint: s.pm.checkpoint.Snapshot(),
+	}
+}
+
+// Sub returns the per-histogram deltas l - prev (for measuring one phase).
+func (l PipelineLatencies) Sub(prev PipelineLatencies) PipelineLatencies {
+	return PipelineLatencies{
+		Residency:  l.Residency.Sub(prev.Residency),
+		Drain:      l.Drain.Sub(prev.Drain),
+		Coalesce:   l.Coalesce.Sub(prev.Coalesce),
+		Publish:    l.Publish.Sub(prev.Publish),
+		Reconcile:  l.Reconcile.Sub(prev.Reconcile),
+		Quiesce:    l.Quiesce.Sub(prev.Quiesce),
+		Move:       l.Move.Sub(prev.Move),
+		Capture:    l.Capture.Sub(prev.Capture),
+		Checkpoint: l.Checkpoint.Sub(prev.Checkpoint),
+	}
+}
+
+// Trace returns the set's lifecycle event trace: per-shard rings of
+// drain/publish/promote/demote/move events plus a global ring for
+// checkpoints, each stamped with the epoch and router generation current
+// when it fired. Attach it to an obs.Server (AddTrace) to expose /tracez.
+func (s *Sharded) Trace() *obs.Trace { return s.trace }
+
+// RegisterMetrics registers every metric the set exports into r under
+// prefix ("cpma" when empty): the stage latency histograms plus all
+// legacy stats counters (IngestStats, SnapshotStats, RebalanceStats, and
+// on a durable set PersistStats and the journal's WAL-level histograms),
+// unified through the registry's scrape-time snapshot path. Scrapes never
+// block the pipeline and remain valid after Close.
+func (s *Sharded) RegisterMetrics(r *obs.Registry, prefix string) {
+	if prefix == "" {
+		prefix = "cpma"
+	}
+	pm := &s.pm
+	r.RegisterHistogram(prefix+"_mailbox_residency_ns", "ns", "enqueue-to-apply mailbox residency per sub-batch", &pm.residency)
+	r.RegisterHistogram(prefix+"_drain_ns", "ns", "one writer drain: WAL append, apply, reconcile, publish", &pm.drain)
+	r.RegisterHistogram(prefix+"_coalesce_keys", "keys", "keys coalesced into one drain", &pm.coalesce)
+	r.RegisterHistogram(prefix+"_publish_ns", "ns", "one copy-on-write publication (cpma.Clone)", &pm.publish)
+	r.RegisterHistogram(prefix+"_reconcile_ns", "ns", "one hot-key reconcile folding absorbed state into the CPMA", &pm.reconcile)
+	r.RegisterHistogram(prefix+"_quiesce_ns", "ns", "rebalance pair park: quiesce tokens sent to both writers at rest", &pm.quiesce)
+	r.RegisterHistogram(prefix+"_move_ns", "ns", "one whole rebalance boundary move", &pm.move)
+	r.RegisterHistogram(prefix+"_snapshot_capture_ns", "ns", "one Snapshot() capture", &pm.capture)
+	r.RegisterHistogram(prefix+"_checkpoint_ns", "ns", "one Checkpoint() barrier: flush plus journal checkpoint", &pm.checkpoint)
+	r.Stats(prefix+"_ingest", "batch traffic counters (IngestStats)", func() any { return s.IngestStats() })
+	r.Stats(prefix+"_snapshot", "snapshot machinery counters (SnapshotStats)", func() any { return s.SnapshotStats() })
+	r.Stats(prefix+"_rebalance", "rebalancer counters (RebalanceStats)", func() any { return s.RebalanceStats() })
+	if j := s.opt.Journal; j != nil {
+		r.Stats(prefix+"_persist", "durability journal counters (PersistStats)", func() any { return j.Stats() })
+		if mr, ok := j.(interface {
+			RegisterMetrics(*obs.Registry, string)
+		}); ok {
+			mr.RegisterMetrics(r, prefix+"_wal")
+		}
+	}
+}

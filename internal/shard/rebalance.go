@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/cpma"
+	"repro/internal/obs"
 )
 
 // RebalanceStats counts the rebalancer's work. Counters are monotone;
@@ -224,12 +225,14 @@ func (s *Sharded) moveBoundary(a, keepLeft int) bool {
 	}
 	// Park both writers. The tokens are the last ops in the two mailboxes:
 	// enqueues need life.RLock, which we hold exclusively.
+	tMove := time.Now()
 	resume := make(chan struct{})
 	park := newTicket(2)
 	for _, p := range [2]int{a, b} {
 		s.cells[p].mbox <- shardOp{kind: opQuiesce, tk: park, resume: resume}
 	}
 	park.wait()
+	s.pm.quiesce.Since(tMove)
 	unpark := func() {
 		close(resume)
 		s.life.Unlock()
@@ -319,8 +322,8 @@ func (s *Sharded) moveBoundary(a, keepLeft int) bool {
 	// reconciled them, so the extracted Keys above were already the full
 	// truth — and genuinely hot keys re-promote within one detector window.
 	// The parked writers give the rebalancer safe access to the detectors.
-	s.dropHotTables(ca)
-	s.dropHotTables(cb)
+	s.dropHotTables(a, ca)
+	s.dropHotTables(b, cb)
 	s.rt.Store(nrt)
 	// Publish fresh handles at the new span generation so snapshot
 	// captures converge (stale-gen handles are rejected until these land).
@@ -337,6 +340,8 @@ func (s *Sharded) moveBoundary(a, keepLeft int) bool {
 
 	s.rebalMoves.Add(1)
 	s.rebalMovedKeys.Add(uint64(len(moved)))
+	s.pm.move.Since(tMove)
+	s.trace.Record(src, obs.EvMove, 0, nrt.gen, uint64(dst), uint64(len(moved)))
 	unpark()
 	return true
 }

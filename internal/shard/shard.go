@@ -179,6 +179,7 @@ import (
 	"time"
 
 	"repro/internal/cpma"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -500,6 +501,11 @@ type Sharded struct {
 	snapCloneBytes atomic.Uint64
 	snapFullBytes  atomic.Uint64
 
+	// Pipeline observability (metrics.go): always-on aggregate stage
+	// latency histograms and the per-shard lifecycle event trace.
+	pm    pipeMetrics
+	trace *obs.Trace
+
 	// hotIdx is the global promoted-key index: the sorted union of every
 	// shard's hot-table keys, rebuilt whenever a retune or boundary move
 	// changes promotions. enqueue's pre-pass consults it to excise hot
@@ -576,6 +582,7 @@ func newSharded(shards int, seed []*cpma.CPMA, opts *Options) *Sharded {
 		o.RebalanceEvery = DefaultRebalanceEvery
 	}
 	s := &Sharded{cells: make([]cell, shards), opt: o}
+	s.trace = obs.NewTrace(shards, 0)
 	bounds := o.Bounds
 	if o.Partition != RangePartition {
 		bounds = nil
@@ -811,7 +818,7 @@ func (s *Sharded) enqueueOne(kind opKind, x uint64) bool {
 	c := &s.cells[s.shardOf(x)]
 	c.enqBatches.Add(1)
 	c.enqKeys.Add(1)
-	op := shardOp{kind: kind, tk: tk}
+	op := shardOp{kind: kind, tk: tk, enq: time.Now()}
 	if s.opt.HotKeys && c.hot.Load().lookup(x) != nil {
 		// Promoted key: mail the compact absorbed form. The exact
 		// fresh/removed answer comes off the slot's effective-membership
@@ -868,6 +875,9 @@ func (s *Sharded) enqueue(kind opKind, keys []uint64, sorted bool, wait bool) in
 	if wait {
 		tk = newTicket(parts)
 	}
+	// One clock read covers every sub-batch this call mails: residency is
+	// measured per drained op, stamped per enqueue call, never per key.
+	now := time.Now()
 	for p := range s.cells {
 		var sub []uint64
 		if subs != nil {
@@ -898,7 +908,7 @@ func (s *Sharded) enqueue(kind opKind, keys []uint64, sorted bool, wait bool) in
 				hot = append(hot, ents...)
 			}
 		}
-		c.mbox <- shardOp{kind: kind, keys: sub, hot: hot, tk: tk}
+		c.mbox <- shardOp{kind: kind, keys: sub, hot: hot, tk: tk, enq: now}
 	}
 	s.life.RUnlock()
 	if wait {
@@ -989,11 +999,18 @@ func (s *Sharded) Durable() bool { return s.opt.Journal != nil }
 // operations enqueued after the call. On a non-durable set it degrades to
 // a plain Flush and returns nil.
 func (s *Sharded) Checkpoint() error {
+	t0 := time.Now()
 	s.Flush()
 	if s.opt.Journal == nil {
 		return nil
 	}
-	return s.opt.Journal.Checkpoint()
+	err := s.opt.Journal.Checkpoint()
+	if err == nil {
+		d := time.Since(t0)
+		s.pm.checkpoint.Observe(d)
+		s.trace.Record(-1, obs.EvCheckpoint, 0, s.router().gen, uint64(d), 0)
+	}
+	return err
 }
 
 // PersistStats returns the durability counters (zero on a non-durable
@@ -1036,12 +1053,18 @@ func (s *Sharded) batch(keys []uint64, sorted bool, apply func(set *cpma.CPMA, s
 		c.enqKeys.Add(uint64(len(sub)))
 		c.appBatches.Add(1)
 		c.appKeys.Add(uint64(len(sub)))
+		t0 := time.Now()
 		c.mu.Lock()
 		n := apply(c.set, sub)
 		if n > 0 {
 			c.epoch.Add(1)
 		}
 		c.mu.Unlock()
+		// Sync mode has no mailbox: the locked apply is both the drain and
+		// the client-observed batch latency, so it lands in the same
+		// histograms the async writer feeds.
+		s.pm.drain.Since(t0)
+		s.pm.coalesce.Record(uint64(len(sub)))
 		total.Add(int64(n))
 	})
 	return int(total.Load())

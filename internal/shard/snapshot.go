@@ -29,8 +29,10 @@ package shard
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cpma"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -166,11 +168,14 @@ func (s *Sharded) publish(p int, c *cell) *shardSnap {
 	if old := c.snap.Load(); old != nil && old.epoch == e && old.gen == g {
 		return old
 	}
+	t0 := time.Now()
 	sn := &shardSnap{epoch: e, gen: g, set: c.set.Clone()}
 	c.snap.Store(sn)
 	s.snapPublishes.Add(1)
 	s.snapCloneBytes.Add(sn.set.CloneCost())
 	s.snapFullBytes.Add(sn.set.SizeBytes())
+	s.pm.publish.Since(t0)
+	s.trace.Record(p, obs.EvPublish, e, g, sn.set.CloneCost(), 0)
 	return sn
 }
 
@@ -221,6 +226,8 @@ type Snapshot struct {
 // sync-mode capture needs no validation: rebalancing requires the async
 // pipeline.
 func (s *Sharded) Snapshot() *Snapshot {
+	t0 := time.Now()
+	defer s.pm.capture.Since(t0)
 	s.snapCaptures.Add(1)
 	P := len(s.cells)
 	snaps := make([]*shardSnap, P)

@@ -130,6 +130,32 @@
 // included. Followers reject client mutations by panic: their state is a
 // pure function of the replicated log.
 //
+// # Observability
+//
+// Every pipeline stage is instrumented with always-on atomic counters and
+// lock-free log-bucketed latency histograms (mailbox residency, drain,
+// coalesce width, publish/clone, WAL append and fsync stall, checkpoint,
+// rebalance quiesce/move, hot-key reconcile, replication ship/apply).
+// NewMetrics builds a named registry, Observe registers a ShardedSet's
+// full metric surface into it (a durable set's journal and an attached
+// ReplPrimary/ReplFollower register through the same path), and
+// ServeMetrics exposes the strictly opt-in HTTP endpoint: Prometheus text
+// on /metrics, JSON summaries with p50/p90/p99/p999 on /statz, the
+// per-shard lifecycle event-trace rings on /tracez, and net/http/pprof
+// under /debug/pprof/.
+//
+// The scrape contract: reading metrics never blocks the pipeline — every
+// sample is an atomic load or a scrape-time stats snapshot, so /metrics
+// stays responsive during async ingest, live rebalances, and checkpoints
+// (counters mid-rebalance are exact per field; a scrape is not one atomic
+// cut across fields). Counters are monotone over a set's lifetime.
+// During and after Close the registry stays readable and returns final
+// values; a scrape racing Close may miss the last drain's increments
+// until Close returns, after which totals are stable. Histograms record
+// into power-of-two buckets (quantiles are bucket-interpolated, exact to
+// within a factor of two) and one recording costs three atomic adds — no
+// locks, no allocation, safe from every goroutine.
+//
 // Quick start:
 //
 //	s := repro.NewSet(nil)
@@ -143,6 +169,7 @@ import (
 	"repro/internal/cpma"
 	"repro/internal/fgraph"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/pma"
 	"repro/internal/repl"
@@ -337,6 +364,44 @@ func ServeReplication(ln net.Listener, pr *ReplPrimary, opts *ReplOptions) error
 func DialPrimary(addr string, f *ReplFollower) (*ReplConn, error) {
 	return repl.Dial(addr, f)
 }
+
+// Metrics is a named metrics registry: counters, gauges, and lock-free
+// log-bucketed latency histograms, scraped via WriteProm (Prometheus
+// text) and WriteStatz (JSON with p50/p90/p99/p999) or served by
+// ServeMetrics. Registering two metrics under one name panics.
+type Metrics = obs.Registry
+
+// MetricsServer is the opt-in HTTP observability endpoint started by
+// ServeMetrics: /metrics, /statz, /tracez, and /debug/pprof/.
+type MetricsServer = obs.Server
+
+// MetricsHistogram is one lock-free latency histogram: power-of-two
+// buckets, three atomic adds per Record, mergeable snapshots with
+// interpolated quantiles.
+type MetricsHistogram = obs.Histogram
+
+// EventTrace is a set of fixed-size per-shard ring buffers recording
+// pipeline lifecycle events (drain, publish, checkpoint, promote, demote,
+// move, ship, bootstrap, apply) with epoch and generation stamps;
+// (*ShardedSet).Trace returns the live one and /tracez dumps it.
+type EventTrace = obs.Trace
+
+// NewMetrics builds an empty named registry.
+func NewMetrics(name string) *Metrics { return obs.NewRegistry(name) }
+
+// Observe registers every metric a ShardedSet exposes into m under the
+// given prefix ("" means "cpma"): the pipeline stage histograms, the
+// ingest/snapshot/rebalance stats counters, and — on a durable set — the
+// journal's WAL append/fsync/checkpoint histograms and persist counters.
+// Call once per (set, registry): duplicate names panic by contract.
+func Observe(s *ShardedSet, m *Metrics, prefix string) { s.RegisterMetrics(m, prefix) }
+
+// ServeMetrics starts the HTTP observability endpoint for m on addr
+// (host:port; port 0 picks one — Addr reports it). The endpoint is
+// strictly opt-in and scrapes never block the pipeline; see the package
+// documentation's observability contract. Close the returned server to
+// stop listening.
+func ServeMetrics(addr string, m *Metrics) (*MetricsServer, error) { return obs.Serve(addr, m) }
 
 // PMA is the uncompressed batch-parallel Packed Memory Array.
 type PMA = pma.PMA
