@@ -7,6 +7,7 @@ package experiments
 // percentile row the harness accumulates into BENCH_obs.json.
 
 import (
+	"repro/internal/fgraph"
 	"repro/internal/obs"
 	"repro/internal/shard"
 )
@@ -20,6 +21,17 @@ var ObserveSet func(label string, s *shard.Sharded)
 func observeSet(label string, s *shard.Sharded) {
 	if ObserveSet != nil {
 		ObserveSet(label, s)
+	}
+}
+
+// ObserveGraph is ObserveSet's sharded-F-Graph counterpart: called with
+// every streaming graph the stream sweep constructs, before ingest starts.
+// Installed by cmd/fgraph-bench when -obs is set.
+var ObserveGraph func(label string, g *fgraph.Sharded)
+
+func observeGraph(label string, g *fgraph.Sharded) {
+	if ObserveGraph != nil {
+		ObserveGraph(label, g)
 	}
 }
 

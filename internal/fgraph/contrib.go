@@ -1,0 +1,227 @@
+package fgraph
+
+// The deterministic flat-scan contribution kernel shared by the single-CPMA
+// Graph and the sharded View — the §6 PageRank path ("PR can be cast as a
+// straightforward pass through the data structure"), restated so the result
+// is layout-independent.
+//
+// The old scan CAS-merged per-run partial sums, so a vertex whose run
+// crossed a leaf boundary had its neighbor contributions grouped by where
+// the boundaries fell: correct to within float rounding, but different
+// bit patterns for different leaf layouts (and nondeterministic across
+// schedules). The kernel here assigns every vertex's whole run to exactly
+// one task — the one owning the leaf where the run starts — which then
+// scans forward across leaf (and shard) boundaries until the run ends.
+// Each acc[src] is one sequential left-to-right sum in ascending key order,
+// written once: bit-identical to a per-vertex Neighbors pull, and therefore
+// identical across leaf sizes, shard counts, and schedules. Ownership needs
+// one structure-only precomputation (the source of the key preceding each
+// leaf), cached until the graph mutates, so PageRank's 10 iterations pay
+// for it once.
+
+import (
+	"sync/atomic"
+
+	"repro/internal/cpma"
+	"repro/internal/parallel"
+)
+
+func atomicAddInt32(addr *int32, delta int32) { atomic.AddInt32(addr, delta) }
+
+// leafSpan presents an ordered sequence of CPMAs as one flat, globally
+// numbered leaf array. For the single-CPMA graph the sequence has one
+// element; for a view over a range-partitioned snapshot it is the frozen
+// shard handles in shard (= key) order, so the concatenated leaves hold
+// every edge key in ascending order.
+type leafSpan struct {
+	sets []*cpma.CPMA
+	off  []int // off[i] is the global id of sets[i]'s leaf 0
+	n    int   // total leaves
+}
+
+func newLeafSpan(sets []*cpma.CPMA) leafSpan {
+	off := make([]int, len(sets))
+	n := 0
+	for i, set := range sets {
+		off[i] = n
+		n += set.Leaves()
+	}
+	return leafSpan{sets: sets, off: off, n: n}
+}
+
+// locate maps a global leaf id to (set index, local leaf).
+func (ls leafSpan) locate(leaf int) (int, int) {
+	// Linear from the back: set counts are small (shards), and callers scan
+	// forward so the common case is the last set checked.
+	i := len(ls.off) - 1
+	for ls.off[i] > leaf {
+		i--
+	}
+	return i, leaf - ls.off[i]
+}
+
+// leafMap applies f to the keys of global leaf `leaf` in ascending order
+// until f returns false.
+func (ls leafSpan) leafMap(leaf int, f func(uint64) bool) {
+	i, l := ls.locate(leaf)
+	ls.sets[i].LeafMap(l, f)
+}
+
+// contribIndex is the structure-only precomputation run ownership needs:
+// for every global leaf, the source vertex of the key immediately before
+// the leaf's first key (so a run continuing into a leaf can be told apart
+// from a run starting there). It depends only on the stored key set, not
+// on the weights, so one build serves every AccumulateContrib call until
+// the graph mutates.
+type contribIndex struct {
+	prevSrc []uint32 // source of the nearest preceding key
+	hasPrev []bool   // false for leaves before the first stored key
+}
+
+func buildContribIndex(ls leafSpan) *contribIndex {
+	lastSrc := make([]uint32, ls.n)
+	nonEmpty := make([]bool, ls.n)
+	parallel.For(ls.n, 4, func(leaf int) {
+		var last uint64
+		found := false
+		ls.leafMap(leaf, func(k uint64) bool {
+			last, found = k, true
+			return true
+		})
+		if found {
+			lastSrc[leaf] = uint32(last >> 32)
+			nonEmpty[leaf] = true
+		}
+	})
+	ci := &contribIndex{prevSrc: make([]uint32, ls.n), hasPrev: make([]bool, ls.n)}
+	var prev uint32
+	have := false
+	for leaf := 0; leaf < ls.n; leaf++ {
+		ci.prevSrc[leaf], ci.hasPrev[leaf] = prev, have
+		if nonEmpty[leaf] {
+			prev, have = lastSrc[leaf], true
+		}
+	}
+	return ci
+}
+
+// accumulateContrib runs the deterministic flat scan: for every source
+// vertex s with at least one stored edge, acc[s] = sum of w[dst] over s's
+// edges in ascending key order, written exactly once. Entries for vertices
+// without edges are not touched.
+func accumulateContrib(ls leafSpan, ci *contribIndex, w, acc []float64) {
+	parallel.For(ls.n, 4, func(leaf int) {
+		var curSrc uint32
+		sum := 0.0
+		active := false   // current run is owned by this task
+		skipping := false // leading continuation run, owned by an earlier leaf
+		first := true
+		ls.leafMap(leaf, func(k uint64) bool {
+			src := uint32(k >> 32)
+			if first {
+				first = false
+				curSrc = src
+				if ci.hasPrev[leaf] && src == ci.prevSrc[leaf] {
+					skipping = true
+					return true
+				}
+				active, sum = true, w[uint32(k)]
+				return true
+			}
+			if src == curSrc {
+				if !skipping {
+					sum += w[uint32(k)]
+				}
+				return true
+			}
+			if active {
+				acc[curSrc] = sum // run ended inside this leaf
+			}
+			skipping = false
+			active, curSrc, sum = true, src, w[uint32(k)]
+			return true
+		})
+		if !active {
+			return // empty leaf, or entirely a continuation run
+		}
+		// The leaf's last run may continue into the following leaves (and
+		// across shard handles); this task owns it to its end.
+		for l := leaf + 1; l < ls.n; l++ {
+			done := false
+			ls.leafMap(l, func(k uint64) bool {
+				if uint32(k>>32) != curSrc {
+					done = true
+					return false
+				}
+				sum += w[uint32(k)]
+				return true
+			})
+			if done {
+				break
+			}
+		}
+		acc[curSrc] = sum
+	})
+}
+
+// buildIndex reconstructs per-vertex cursors and degrees over a leaf span
+// with one parallel pass — the §6 index rebuild, shared by the single-CPMA
+// graph and the sharded view (where the pass covers every frozen shard's
+// leaves under one global numbering, so the per-shard builds run in
+// parallel for free). Cursors pack globalLeaf<<32 | index-within-leaf;
+// noCursor marks degree-0 vertices.
+func buildIndex(ls leafSpan, nv int) (deg []int32, cursors []uint64) {
+	deg = make([]int32, nv)
+	cursors = make([]uint64, nv)
+	for i := range cursors {
+		cursors[i] = noCursor
+	}
+	parallel.For(ls.n, 4, func(leaf int) {
+		idx := 0
+		runSrc := uint32(0)
+		runCount := int32(0)
+		ls.leafMap(leaf, func(k uint64) bool {
+			src := uint32(k >> 32)
+			if idx == 0 || src != runSrc {
+				if runCount > 0 {
+					atomicAddInt32(&deg[runSrc], runCount)
+				}
+				runSrc, runCount = src, 0
+				cursorMin(&cursors[src], uint64(leaf)<<32|uint64(idx))
+			}
+			runCount++
+			idx++
+			return true
+		})
+		if runCount > 0 {
+			atomicAddInt32(&deg[runSrc], runCount)
+		}
+	})
+	return deg, cursors
+}
+
+// neighbors streams the destinations of v's stored edges in ascending
+// order until f returns false, walking the leaf span from v's cursor.
+func neighbors(ls leafSpan, deg []int32, cursors []uint64, v uint32, f func(u uint32) bool) {
+	cur := cursors[v]
+	if cur == noCursor {
+		return
+	}
+	leaf := int(cur >> 32)
+	skip := int(uint32(cur))
+	remaining := int(deg[v])
+	for l := leaf; remaining > 0 && l < ls.n; l++ {
+		ls.leafMap(l, func(k uint64) bool {
+			if skip > 0 {
+				skip--
+				return true
+			}
+			remaining--
+			if !f(uint32(k)) {
+				remaining = 0
+				return false
+			}
+			return remaining > 0
+		})
+	}
+}

@@ -10,16 +10,43 @@
 // a cursor (leaf, offset) and the degree for every vertex with one parallel
 // pass over the CPMA leaves — the "fixed cost to reconstruct the vertex
 // array of offsets" the paper measures inside each algorithm's runtime.
+//
+// Two flavors share those kernels:
+//
+//   - Graph (this file) is the paper's phased single-CPMA system: one
+//     writer, mutations and analytics strictly alternating.
+//   - Sharded (sharded.go) stripes the edge keys across a range-partitioned
+//     concurrent shard.Sharded and serves analytics from immutable epoch-
+//     snapshot Views (view.go) while edge batches keep streaming through
+//     the async ingest pipeline — no phasing.
+//
+// # Edge (0,0)
+//
+// Key 0 is reserved by the CPMA (and the sharded pipeline panics on it),
+// and edge (0,0) — a self-loop on vertex 0 — packs to exactly key 0. The
+// two flavors resolve the collision differently: Graph drops the edge
+// silently (workload.EdgeKeys filters it, matching Symmetrize, which drops
+// every self-loop), while Sharded rejects any batch containing it with
+// ErrEdgeZeroZero before enqueueing — an async pipeline cannot afford a
+// deferred panic in a writer goroutine. All other vertex-0 edges ((0, k)
+// and (k, 0), k != 0) are ordinary keys in both flavors.
 package fgraph
 
 import (
+	"errors"
 	"sync/atomic"
 
 	"repro/internal/cpma"
 	"repro/internal/graph"
-	"repro/internal/parallel"
 	"repro/internal/workload"
 )
+
+// ErrEdgeZeroZero is returned by the Sharded mutation paths when a batch
+// contains the edge (0,0), which packs to the reserved key 0 and cannot be
+// stored. Self-loops carry no information for the undirected kernels
+// (Symmetrize drops them all), so callers typically filter rather than
+// handle.
+var ErrEdgeZeroZero = errors.New("fgraph: edge (0,0) packs to reserved key 0 and cannot be stored")
 
 // Graph is a dynamic undirected graph on a single CPMA. One writer at a
 // time; batch updates and algorithms are phased, as in the paper.
@@ -29,6 +56,7 @@ type Graph struct {
 	indexed bool
 	deg     []int32
 	cursors []uint64 // leaf<<32 | index-within-leaf; noCursor when degree 0
+	contrib *contribIndex
 }
 
 const noCursor = ^uint64(0)
@@ -47,24 +75,30 @@ func FromEdges(numVertices int, edges []workload.Edge, opts *cpma.Options) *Grap
 
 // InsertEdges adds a batch of directed edges (undirected graphs pass both
 // directions, e.g. via workload.Symmetrize), returning the number of edges
-// that were new. Duplicates are absorbed by the set semantics.
+// that were new. Duplicates are absorbed by the set semantics; the edge
+// (0,0) is dropped (see the package documentation).
 func (g *Graph) InsertEdges(edges []workload.Edge) int {
-	g.indexed = false
+	g.invalidate()
 	return g.set.InsertBatch(workload.EdgeKeys(edges), false)
 }
 
 // DeleteEdges removes a batch of directed edges, returning how many were
 // present.
 func (g *Graph) DeleteEdges(edges []workload.Edge) int {
-	g.indexed = false
+	g.invalidate()
 	return g.set.RemoveBatch(workload.EdgeKeys(edges), false)
 }
 
 // InsertEdgeKeys inserts pre-packed src<<32|dst keys (the benchmark hot
 // path, avoiding the Edge struct round trip).
 func (g *Graph) InsertEdgeKeys(keys []uint64, sorted bool) int {
-	g.indexed = false
+	g.invalidate()
 	return g.set.InsertBatch(keys, sorted)
+}
+
+func (g *Graph) invalidate() {
+	g.indexed = false
+	g.contrib = nil
 }
 
 // NumVertices returns the vertex-id space.
@@ -88,35 +122,7 @@ func (g *Graph) Indexed() bool { return g.indexed }
 // access must run it after any mutation; the paper includes this cost in
 // every algorithm's measured time except PR's flat scans.
 func (g *Graph) BuildIndex() {
-	deg := make([]int32, g.nv)
-	cursors := make([]uint64, g.nv)
-	for i := range cursors {
-		cursors[i] = noCursor
-	}
-	leaves := g.set.Leaves()
-	parallel.For(leaves, 4, func(leaf int) {
-		idx := 0
-		runSrc := uint32(0)
-		runCount := int32(0)
-		g.set.LeafMap(leaf, func(k uint64) bool {
-			src := uint32(k >> 32)
-			if idx == 0 || src != runSrc {
-				if runCount > 0 {
-					atomic.AddInt32(&deg[runSrc], runCount)
-				}
-				runSrc, runCount = src, 0
-				cursorMin(&cursors[src], uint64(leaf)<<32|uint64(idx))
-			}
-			runCount++
-			idx++
-			return true
-		})
-		if runCount > 0 {
-			atomic.AddInt32(&deg[runSrc], runCount)
-		}
-	})
-	g.deg = deg
-	g.cursors = cursors
+	g.deg, g.cursors = buildIndex(g.span(), g.nv)
 	g.indexed = true
 }
 
@@ -127,6 +133,8 @@ func (g *Graph) EnsureIndex() {
 		g.BuildIndex()
 	}
 }
+
+func (g *Graph) span() leafSpan { return newLeafSpan([]*cpma.CPMA{g.set}) }
 
 func cursorMin(addr *uint64, v uint64) {
 	for {
@@ -150,53 +158,23 @@ func (g *Graph) Degree(v uint32) int {
 // order until f returns false. The index must be current.
 func (g *Graph) Neighbors(v uint32, f func(u uint32) bool) {
 	g.mustIndex()
-	cur := g.cursors[v]
-	if cur == noCursor {
-		return
-	}
-	leaf := int(cur >> 32)
-	skip := int(uint32(cur))
-	remaining := int(g.deg[v])
-	for l := leaf; remaining > 0 && l < g.set.Leaves(); l++ {
-		g.set.LeafMap(l, func(k uint64) bool {
-			if skip > 0 {
-				skip--
-				return true
-			}
-			remaining--
-			if !f(uint32(k)) {
-				remaining = 0
-				return false
-			}
-			return remaining > 0
-		})
-	}
+	neighbors(g.span(), g.deg, g.cursors, v, f)
 }
 
-// AccumulateContrib implements graph.ContribScanner: one flat parallel scan
-// over the CPMA accumulating accBits[src] += w[dst] per stored edge, with
-// run-local sums flushed by CAS only at source changes and leaf boundaries.
-func (g *Graph) AccumulateContrib(w []float64, accBits []uint64) {
-	leaves := g.set.Leaves()
-	parallel.For(leaves, 4, func(leaf int) {
-		first := true
-		runSrc := uint32(0)
-		sum := 0.0
-		g.set.LeafMap(leaf, func(k uint64) bool {
-			src := uint32(k >> 32)
-			if first || src != runSrc {
-				if !first && sum != 0 {
-					graph.AtomicAddFloatBits(&accBits[runSrc], sum)
-				}
-				runSrc, sum, first = src, 0, false
-			}
-			sum += w[uint32(k)]
-			return true
-		})
-		if !first && sum != 0 {
-			graph.AtomicAddFloatBits(&accBits[runSrc], sum)
-		}
-	})
+// AccumulateContrib implements graph.ContribScanner with the deterministic
+// flat scan (contrib.go): one parallel pass over the CPMA leaves, each
+// vertex's run owned end-to-end by one task, so acc[src] is the sequential
+// ascending-order sum of w[dst] — bit-identical to a Neighbors pull and to
+// the sharded view's scan of the same edge set. It does not need the vertex
+// index (the §6 property: PR skips the index rebuild); the run-ownership
+// precomputation is cached until the next mutation. Call from one goroutine
+// at a time (the PageRank driver does).
+func (g *Graph) AccumulateContrib(w []float64, acc []float64) {
+	ls := g.span()
+	if g.contrib == nil {
+		g.contrib = buildContribIndex(ls)
+	}
+	accumulateContrib(ls, g.contrib, w, acc)
 }
 
 func (g *Graph) mustIndex() {

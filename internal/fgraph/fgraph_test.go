@@ -137,17 +137,19 @@ func TestAccumulateContribMatchesNeighbors(t *testing.T) {
 	for i := range w {
 		w[i] = r.Float64()
 	}
-	accBits := make([]uint64, nv)
-	g.AccumulateContrib(w, accBits)
+	acc := make([]float64, nv)
+	g.AccumulateContrib(w, acc)
 	for v := 0; v < nv; v++ {
 		want := 0.0
 		g.Neighbors(uint32(v), func(u uint32) bool {
 			want += w[u]
 			return true
 		})
-		got := math.Float64frombits(accBits[v])
-		if math.Abs(got-want) > 1e-9 {
-			t.Fatalf("contrib[%d] = %g, want %g", v, got, want)
+		// The flat scan sums each vertex's run sequentially in ascending
+		// order — the same order as the Neighbors pull — so the match is
+		// exact, not approximate.
+		if acc[v] != want {
+			t.Fatalf("contrib[%d] = %g, want %g (not bit-identical)", v, acc[v], want)
 		}
 	}
 }

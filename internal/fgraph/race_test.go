@@ -1,0 +1,110 @@
+package fgraph
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// TestShardedFGraphRace is the -race hammer: analytics goroutines capturing
+// Views and running the kernels concurrently with async edge ingest,
+// deletes, live rebalancing, and finally Close — with a View captured
+// before Close still being read afterwards. Invariants are deliberately
+// weak (the schedules are nondeterministic); the detector is the point.
+func TestShardedFGraphRace(t *testing.T) {
+	const (
+		scale     = 8
+		shards    = 4
+		ingesters = 2
+		analysts  = 3
+		rounds    = 40
+	)
+	nv := 1 << scale
+	g := NewSharded(nv, shards, &ShardedOptions{
+		Rebalance:      true,
+		MaxSkew:        1.1,
+		RebalanceEvery: time.Millisecond,
+	})
+
+	var ingest sync.WaitGroup
+	for w := 0; w < ingesters; w++ {
+		ingest.Add(1)
+		go func(w int) {
+			defer ingest.Done()
+			stream := workload.NewEdgeStream(uint64(1000+w), scale, 0.25)
+			for i := 0; i < rounds; i++ {
+				ins, del := stream.Next(600)
+				if err := g.InsertEdges(ins); err != nil {
+					t.Errorf("ingester %d: InsertEdges: %v", w, err)
+					return
+				}
+				if len(del) > 0 {
+					if err := g.DeleteEdges(del); err != nil {
+						t.Errorf("ingester %d: DeleteEdges: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	var analyze sync.WaitGroup
+	var lastView sync.Map // analyst id -> last *View, reused after Close
+	for a := 0; a < analysts; a++ {
+		analyze.Add(1)
+		go func(a int) {
+			defer analyze.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := g.View()
+				lastView.Store(a, v)
+				if v.NumVertices() != nv {
+					t.Errorf("analyst %d: NumVertices %d", a, v.NumVertices())
+					return
+				}
+				switch a % 3 {
+				case 0:
+					graph.BFS(v, uint32(a))
+				case 1:
+					graph.PageRank(v, 2)
+				case 2:
+					graph.ConnectedComponents(v)
+				}
+				if err := v.Snapshot().Validate(); err != nil {
+					t.Errorf("analyst %d: %v", a, err)
+					return
+				}
+			}
+		}(a)
+	}
+
+	ingest.Wait()
+	// Close while the analysts are still capturing views and running
+	// kernels: it must only stop the writers, never invalidate reads.
+	g.Close()
+	close(stop)
+	analyze.Wait()
+
+	// Views captured before (or after) Close stay readable, and a fresh
+	// post-Close View sees the final drained state.
+	final := g.View()
+	if final.LagKeys() != 0 {
+		t.Fatalf("post-Close view reports lag %d", final.LagKeys())
+	}
+	lastView.Range(func(_, v any) bool {
+		old := v.(*View)
+		graph.BFS(old, 0)
+		if err := old.Snapshot().Validate(); err != nil {
+			t.Errorf("pre-Close view invalid after Close: %v", err)
+		}
+		return true
+	})
+}

@@ -25,18 +25,25 @@ type Graph interface {
 	Neighbors(v uint32, f func(u uint32) bool)
 }
 
-// ContribScanner is an optional fast path for arbitrary-order kernels:
-// one flat pass accumulating out[s] += w[d] over every stored edge (s, d).
-// F-Graph implements it with a single scan of its CPMA (§6: PR "can be cast
-// as a straightforward pass through the data structure"). accBits holds
-// float64 bit patterns so concurrent flushes can use CAS adds.
+// ContribScanner is an optional fast path for PageRank-style kernels: one
+// flat pass over the stored edges computing, for every source vertex s with
+// at least one edge, acc[s] = sum of w[d] over s's neighbors d. F-Graph
+// implements it with a single scan of its CPMA (§6: PR "can be cast as a
+// straightforward pass through the data structure") and the sharded view
+// with one scan per frozen shard.
+//
+// The contract is deterministic and layout-independent: each acc[s] must be
+// the sequential left-to-right sum of w[d] in ascending d order, written
+// exactly once (entries for vertices without edges are left untouched).
+// That makes the scanner path bit-identical to a per-vertex Neighbors pull
+// — and therefore bit-identical across storage layouts, shard counts, and
+// schedules — which the streaming-graph differential harness relies on.
+// Implementations parallelize by run ownership (one task owns all of a
+// vertex's edges) rather than by CAS-merging partial sums, whose grouping
+// would depend on leaf boundaries.
 type ContribScanner interface {
-	AccumulateContrib(w []float64, accBits []uint64)
+	AccumulateContrib(w []float64, acc []float64)
 }
-
-// AtomicAddFloatBits adds delta to the float64 stored as bits in *addr; the
-// helper scanners use to flush per-run partial sums.
-func AtomicAddFloatBits(addr *uint64, delta float64) { atomicAddFloat64(addr, delta) }
 
 // VertexSubset is a Ligra frontier: sparse (vertex list) or dense (bitmap).
 type VertexSubset struct {

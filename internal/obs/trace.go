@@ -21,6 +21,7 @@ const (
 	EvShip                        // replication shipped records: A=records, B=keys
 	EvBootstrap                   // replication bootstrap sent: A=records in base state
 	EvApply                       // follower applied shipped records: A=records, B=keys
+	EvIndex                       // graph view index built (set-global): A=edges indexed, B=build ns
 )
 
 var eventNames = [...]string{
@@ -33,6 +34,7 @@ var eventNames = [...]string{
 	EvShip:       "ship",
 	EvBootstrap:  "bootstrap",
 	EvApply:      "apply",
+	EvIndex:      "index",
 }
 
 func (k EventKind) String() string {

@@ -279,6 +279,33 @@ func (s *Sharded) Snapshot() *Snapshot {
 // Shards returns the number of shards the snapshot covers.
 func (sn *Snapshot) Shards() int { return len(sn.v.sets) }
 
+// ShardSets returns the snapshot's frozen per-shard CPMA handles in shard
+// order. The handles are immutable by the publication contract: callers may
+// scan them freely (Leaves/LeafMap/Map and the other read APIs) from any
+// number of goroutines, concurrently with ingest on the live set, but must
+// never mutate them. Under RangePartition shard order is key order, so the
+// concatenated leaf sequence of the returned sets holds every key of the
+// snapshot in ascending order — the property leaf-level analytics (the
+// sharded F-Graph view) build on. The returned slice is a copy; the
+// handles are the originals.
+func (sn *Snapshot) ShardSets() []*cpma.CPMA {
+	return append([]*cpma.CPMA(nil), sn.v.sets...)
+}
+
+// Bounds returns a copy of the interior span-boundary table the snapshot
+// was routed with (nil for a single shard or a hash partition): shards-1
+// ascending keys, shard p owning [Bounds[p-1], Bounds[p]). Because capture
+// validates every handle's span generation against this table, the
+// returned bounds always agree with where the frozen handles actually hold
+// their keys — even when the capture raced a rebalance.
+func (sn *Snapshot) Bounds() []uint64 {
+	return append([]uint64(nil), sn.v.rt.bounds...)
+}
+
+// RangePartitioned reports whether the snapshot's shards partition the key
+// space by contiguous ranges (shard order = key order).
+func (sn *Snapshot) RangePartitioned() bool { return sn.v.rt.part == RangePartition }
+
 // Epochs returns the per-shard epochs (state-changing applies reflected)
 // the snapshot was cut at. Epochs are monotone per shard: a later Snapshot
 // never reports a smaller epoch for any shard.

@@ -1,0 +1,65 @@
+package workload
+
+import "testing"
+
+func TestEdgeStreamDeterministic(t *testing.T) {
+	a := NewEdgeStream(7, 10, 0.25)
+	b := NewEdgeStream(7, 10, 0.25)
+	for round := 0; round < 20; round++ {
+		ia, da := a.Next(500)
+		ib, db := b.Next(500)
+		if len(ia) != len(ib) || len(da) != len(db) {
+			t.Fatalf("round %d: batch sizes diverge", round)
+		}
+		for i := range ia {
+			if ia[i] != ib[i] {
+				t.Fatalf("round %d: insert %d diverges", round, i)
+			}
+		}
+		for i := range da {
+			if da[i] != db[i] {
+				t.Fatalf("round %d: delete %d diverges", round, i)
+			}
+		}
+	}
+}
+
+func TestEdgeStreamDeletesComeFromInserts(t *testing.T) {
+	s := NewEdgeStream(11, 9, 0.3)
+	inserted := map[Edge]bool{}
+	sawDelete := false
+	for round := 0; round < 30; round++ {
+		ins, del := s.Next(400)
+		if len(ins) != 400 {
+			t.Fatalf("round %d: %d inserts", round, len(ins))
+		}
+		for _, e := range del {
+			if !inserted[e] {
+				t.Fatalf("round %d: delete %v never inserted", round, e)
+			}
+			sawDelete = true
+		}
+		for _, e := range ins {
+			inserted[e] = true
+		}
+		nv := s.NumVertices()
+		for _, e := range ins {
+			if int(e.Src) >= nv || int(e.Dst) >= nv {
+				t.Fatalf("edge %v out of vertex range %d", e, nv)
+			}
+		}
+	}
+	if !sawDelete {
+		t.Fatal("stream with deleteFrac 0.3 emitted no deletes")
+	}
+}
+
+func TestEdgeStreamNoDeletes(t *testing.T) {
+	s := NewEdgeStream(3, 8, 0)
+	for round := 0; round < 5; round++ {
+		_, del := s.Next(100)
+		if del != nil {
+			t.Fatalf("round %d: unexpected deletes", round)
+		}
+	}
+}

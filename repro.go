@@ -1,7 +1,7 @@
 // Package repro is the public API of this reproduction of "CPMA: An
 // Efficient Batch-Parallel Compressed Set Without Pointers" (PPoPP 2024).
 //
-// It exposes four layers:
+// It exposes five layers:
 //
 //   - Set — the batch-parallel Compressed Packed Memory Array (the paper's
 //     primary contribution): a compressed, dynamic, ordered set of uint64
@@ -11,6 +11,9 @@
 //     servers with many mutating clients.
 //   - FGraph — the F-Graph dynamic-graph system built on a single Set, with
 //     the PageRank, ConnectedComponents, and BC kernels.
+//   - ShardedFGraph — F-Graph on the concurrent pipeline: edge keys striped
+//     across a range-partitioned ShardedSet, async edge ingest, analytics
+//     served from immutable epoch-snapshot views.
 //
 // Keys are nonzero uint64 values (0 is reserved as the empty-cell
 // sentinel).
@@ -82,6 +85,32 @@
 // applies, and recovery replays it like any other batch. Keys that cool
 // off demote back to the ordinary path. ShardIngestStats reports the
 // promotion/absorption/reconcile counters.
+//
+// # Graph streaming
+//
+// FGraph is the paper's phased design: one writer, mutations and analytics
+// strictly alternating, with the vertex index rebuilt after each batch.
+// NewShardedFGraph removes the phasing. Edge keys (src<<32|dst) stripe
+// across a range-partitioned async ShardedSet — range partitioning by key
+// is vertex striping for free, each shard owning a contiguous vertex range
+// — so InsertEdges/DeleteEdges enqueue and return while per-shard writers
+// apply batches, and (*ShardedFGraph).View captures an immutable FGraphView
+// with no flush barrier: one epoch-snapshot cut across the shards, the §6
+// vertex index rebuilt by a parallel pass over the frozen leaves. The
+// kernels (PageRank, ConnectedComponents, BC, plus BFS inside the
+// EdgeMap machinery) run against the view concurrently with ingest and
+// return results bit-identical to an FGraph holding the same edge set —
+// PageRank included, at any shard count, by the deterministic run-ownership
+// flat scan.
+//
+// A view is read-your-flushes, not read-your-writes: it covers a FIFO
+// prefix of each shard's applied batches (a frontier cut — shards may sit
+// at different depths of the stream); Flush first when a view must cover
+// everything previously enqueued. FGraphView.LagKeys and Age report the
+// snapshot staleness; views stay valid forever, including after Close.
+// The one unstorable edge is (0,0), which packs to the reserved key 0:
+// ShardedFGraph rejects any batch containing it with ErrEdgeZeroZero
+// (FGraph silently drops it, matching Symmetrize's self-loop rule).
 //
 // # Durability
 //
@@ -427,6 +456,44 @@ func FGraphFromEdges(numVertices int, edges []Edge) *FGraph {
 	return fgraph.FromEdges(numVertices, edges, nil)
 }
 
+// ShardedFGraph is F-Graph on the concurrent sharded pipeline: async edge
+// ingest through per-shard mailbox writers, analytics against immutable
+// epoch-snapshot FGraphViews — no phasing (see the package documentation's
+// graph-streaming contract).
+type ShardedFGraph = fgraph.Sharded
+
+// ShardedFGraphOptions tunes a ShardedFGraph (per-shard Set options,
+// mailbox depth, live vertex-range rebalancing).
+type ShardedFGraphOptions = fgraph.ShardedOptions
+
+// FGraphView is an immutable graph over one epoch-snapshot cut of a
+// ShardedFGraph, with the vertex index rebuilt at capture; it implements
+// Graph, stays valid after Close, and reports its staleness via LagKeys
+// and Age.
+type FGraphView = fgraph.View
+
+// ErrEdgeZeroZero is returned by ShardedFGraph mutation calls whose batch
+// contains the edge (0,0) — it packs to the reserved key 0 and cannot be
+// stored.
+var ErrEdgeZeroZero = fgraph.ErrEdgeZeroZero
+
+// NewShardedFGraph returns an empty streaming graph over numVertices
+// vertex ids striped across `shards` single-writer CPMAs; opts may be nil.
+func NewShardedFGraph(numVertices, shards int, opts *ShardedFGraphOptions) *ShardedFGraph {
+	return fgraph.NewSharded(numVertices, shards, opts)
+}
+
+// EdgeStream is a deterministic streaming-graph workload: R-MAT insert
+// batches interleaved with delete batches sampled from previously inserted
+// edges. It never emits the unstorable edge (0,0).
+type EdgeStream = workload.EdgeStream
+
+// NewEdgeStream seeds an edge stream over 2^scale vertices; deleteFrac of
+// each batch is emitted as deletions of earlier inserts.
+func NewEdgeStream(seed uint64, scale int, deleteFrac float64) *EdgeStream {
+	return workload.NewEdgeStream(seed, scale, deleteFrac)
+}
+
 // Edge is a directed graph edge.
 type Edge = workload.Edge
 
@@ -449,6 +516,9 @@ func ConnectedComponents(g Graph) []uint32 { return graph.ConnectedComponents(g)
 // BC returns single-source betweenness-centrality dependency scores from
 // src (Brandes' algorithm).
 func BC(g Graph, src uint32) []float64 { return graph.BC(g, src) }
+
+// BFS returns each vertex's BFS depth from src (-1 if unreachable).
+func BFS(g Graph, src uint32) []int32 { return graph.BFS(g, src) }
 
 // RNG is a deterministic splitmix64 random generator for workloads.
 type RNG = workload.RNG
